@@ -1,0 +1,60 @@
+"""Figure 4: speedup over baseline for zero prediction, move elimination,
+RSEP (ideal), value prediction, and RSEP + VP."""
+
+from conftest import bench_benchmarks, bench_windows
+
+from repro.harness.reporting import Table
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MechanismConfig
+
+MECHANISMS = [
+    MechanismConfig.baseline(),
+    MechanismConfig.zero_prediction(),
+    MechanismConfig.move_elimination(),
+    MechanismConfig.rsep_ideal(),
+    MechanismConfig.value_prediction(),
+    MechanismConfig.rsep_plus_vp(),
+]
+
+
+def run_fig4():
+    warmup, measure = bench_windows()
+    runner = ExperimentRunner(
+        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
+    )
+    runner.run(MECHANISMS)
+    table = Table([
+        "benchmark", "base IPC", "zero%", "move%", "rsep%", "vpred%",
+        "rsep+vp%",
+    ])
+    for name in runner.benchmarks:
+        table.add_row(
+            name,
+            f"{runner.outcome(name, 'baseline').ipc:.3f}",
+            *(
+                f"{100 * runner.speedup(name, mech.name):+.1f}"
+                for mech in MECHANISMS[1:]
+            ),
+        )
+    print("\nFigure 4 — speedup over baseline by mechanism")
+    print(table.render())
+    return runner
+
+
+def test_fig4_speedup(benchmark):
+    runner = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    # Headline shapes: RSEP clearly helps its flagship benchmarks...
+    assert runner.speedup("hmmer", "rsep") > 0.04
+    assert runner.speedup("dealII", "rsep") > 0.04
+    assert runner.speedup("omnetpp", "rsep") > -0.01
+    # ...while VP leads elsewhere and they do not fully overlap.
+    assert runner.speedup("perlbench", "vpred") > 0.01
+    assert runner.speedup("dealII", "rsep") > runner.speedup(
+        "dealII", "vpred"
+    )
+    # The combination never collapses far below the best single mechanism.
+    for name in ("hmmer", "dealII", "libquantum"):
+        best = max(
+            runner.speedup(name, "rsep"), runner.speedup(name, "vpred")
+        )
+        assert runner.speedup(name, "rsep+vpred") > best - 0.06

@@ -1,0 +1,65 @@
+"""Figure 6: impact of the validation mechanism and of commit sampling.
+
+Five RSEP variants: ideal validation, issue-twice locked to the same FU,
+issue-twice to any FU, and issue-twice-any-FU with sampling at start-train
+thresholds 15 and 63.
+"""
+
+from conftest import bench_benchmarks, bench_windows
+
+from repro.core.validation import ValidationMode
+from repro.harness.reporting import Table
+from repro.harness.runner import ExperimentRunner
+from repro.pipeline.config import MechanismConfig
+
+VARIANTS = [
+    MechanismConfig.baseline(),
+    MechanismConfig.rsep_validation(ValidationMode.IDEAL),
+    MechanismConfig.rsep_validation(ValidationMode.REISSUE_LOCK_FU),
+    MechanismConfig.rsep_validation(ValidationMode.REISSUE_ANY_FU),
+    MechanismConfig.rsep_validation(
+        ValidationMode.REISSUE_ANY_FU, sampling=True, start_train_threshold=15
+    ),
+    MechanismConfig.rsep_validation(
+        ValidationMode.REISSUE_ANY_FU, sampling=True, start_train_threshold=63
+    ),
+]
+
+
+def run_fig6():
+    warmup, measure = bench_windows()
+    runner = ExperimentRunner(
+        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
+    )
+    runner.run(VARIANTS)
+    table = Table([
+        "benchmark", "ideal%", "lockFU%", "anyFU%", "samp15%", "samp63%",
+    ])
+    for name in runner.benchmarks:
+        table.add_row(
+            name,
+            *(
+                f"{100 * runner.speedup(name, mech.name):+.1f}"
+                for mech in VARIANTS[1:]
+            ),
+        )
+    print("\nFigure 6 — validation & sampling impact on RSEP speedup")
+    print(table.render())
+    return runner
+
+
+def test_fig6_validation(benchmark):
+    runner = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    ideal = VARIANTS[1].name
+    lock = VARIANTS[2].name
+    any_fu = VARIANTS[3].name
+    # §IV.F/Fig. 6: locking validation to the FU of the predicted
+    # instruction must never beat the any-FU scheme on load-heavy code,
+    # and ideal validation bounds both from above (within noise).
+    for name in ("mcf", "hmmer", "dealII"):
+        assert runner.speedup(name, any_fu) >= runner.speedup(
+            name, lock
+        ) - 0.02
+        assert runner.speedup(name, ideal) >= runner.speedup(
+            name, any_fu
+        ) - 0.02

@@ -1,0 +1,39 @@
+"""Shared fixtures and window configuration for the figure benches.
+
+Timing benches default to a representative benchmark subset and laptop
+windows so `pytest benchmarks/ --benchmark-only` completes in minutes.
+Set ``REPRO_FULL=1`` for all 29 benchmarks and ``REPRO_WARMUP`` /
+``REPRO_MEASURE`` / ``REPRO_SEEDS`` for higher fidelity.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.spec2006 import benchmark_names
+
+#: Subset covering every behaviour class the paper discusses: RSEP wins
+#: (mcf, hmmer, dealII, omnetpp), VP wins (perlbench, wrf, zeusmp),
+#: overlap (libquantum, xalancbmk), zero/ILP (gamess), neutral (gobmk,
+#: lbm), FP streaming (bwaves).
+REPRESENTATIVE = [
+    "perlbench", "mcf", "gobmk", "hmmer", "libquantum", "omnetpp",
+    "xalancbmk", "bwaves", "gamess", "zeusmp", "dealII", "lbm", "wrf",
+]
+
+
+def bench_benchmarks() -> list[str]:
+    if os.environ.get("REPRO_FULL"):
+        return benchmark_names()
+    return REPRESENTATIVE
+
+
+def bench_windows() -> tuple[int, int]:
+    warmup = int(os.environ.get("REPRO_WARMUP", "8000"))
+    measure = int(os.environ.get("REPRO_MEASURE", "24000"))
+    return warmup, measure
+
+
+@pytest.fixture(scope="session")
+def windows():
+    return bench_windows()

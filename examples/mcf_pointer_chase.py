@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The mcf story: equality prediction breaks serial pointer chases.
+
+Builds a custom workload — a hot ring chase (serial loads whose values
+recur at a stable distance) next to irregular noise — and shows why RSEP
+captures it while a value predictor cannot: the load values are periodic,
+not strided, so D-VTAGE never grows confident, while the IDist to the
+previous lap is rock stable (§IV.H.2 and the mcf column of Figs. 4/5).
+"""
+
+from repro.common.rng import XorShift64
+from repro.pipeline.config import MechanismConfig
+from repro.pipeline.core import Pipeline
+from repro.workloads import kernels as K
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.trace import Machine, execute
+
+
+def build_workload():
+    builder = ProgramBuilder("ring-chase-demo")
+    rng = XorShift64(2024)
+    kernels = [
+        K.ring_chase(builder, rng, ring_nodes=8, reps=12, payload=False),
+        K.lcg_noise(builder, rng, reps=3),
+    ]
+    entry = builder.fresh_label("main")
+    builder.b(entry)
+    builder.label(entry)
+    for kernel in kernels:
+        kernel.setup()
+    loop = builder.label(builder.fresh_label("outer"))
+    for kernel in kernels:
+        kernel.body()
+    builder.b(loop)
+    builder.halt()
+    return execute(builder.build(), 40000, Machine(dict(builder.data.image)))
+
+
+def main() -> None:
+    trace = build_workload()
+    results = {}
+    for label, mechanisms in (
+        ("baseline", MechanismConfig.baseline()),
+        ("rsep", MechanismConfig.rsep_ideal()),
+        ("vpred", MechanismConfig.value_prediction()),
+    ):
+        pipeline = Pipeline(trace, mechanisms=mechanisms, seed=1)
+        results[label] = pipeline.run(20000, warmup=10000)
+
+    base_ipc = results["baseline"].ipc
+    print(f"baseline IPC : {base_ipc:.3f} "
+          f"(serial 4-cycle chase steps bound the loop)")
+    for label in ("rsep", "vpred"):
+        stats = results[label]
+        print(f"{label:<9} IPC : {stats.ipc:.3f} "
+              f"({stats.ipc / base_ipc - 1.0:+.1%}; "
+              f"dist={stats.dist_pred}, vp={stats.value_pred})")
+    print("\nRSEP collapses the chase: dependents of each chase load get")
+    print("the physical register of the same node's previous lap, so the")
+    print("next address no longer waits on the 4-cycle L1 hit.  D-VTAGE")
+    print("sees a period-8 (non-strided) value sequence and stays quiet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under the baseline and under RSEP.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+
+Shows the core public API: build a Simulator, pick a MechanismConfig, run,
+and read IPC/coverage/accuracy off the stats object.
+"""
+
+import sys
+
+from repro import MechanismConfig, Simulator
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "dealII"
+    simulator = Simulator()
+
+    base = simulator.run_benchmark(benchmark, MechanismConfig.baseline())
+    rsep = simulator.run_benchmark(benchmark, MechanismConfig.rsep_ideal())
+
+    print(f"benchmark          : {benchmark}")
+    print(f"baseline IPC       : {base.ipc:.3f}")
+    print(f"RSEP IPC           : {rsep.ipc:.3f}")
+    print(f"speedup            : {rsep.ipc / base.ipc - 1.0:+.1%}")
+    stats = rsep.stats
+    print(f"distance-predicted : {stats.dist_pred} commits "
+          f"({stats.coverage_fraction(stats.dist_pred):.1%} of committed)")
+    print(f"RSEP accuracy      : {stats.rsep_accuracy:.4f}")
+    print(f"squashes (RSEP)    : {stats.squashes_rsep}")
+
+
+if __name__ == "__main__":
+    main()

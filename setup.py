@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` (and ``python setup.py develop``) work in
+offline environments whose setuptools cannot build PEP 660 editable wheels
+(no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Register Sharing for Equality Prediction".
+
+Perais, Endo, Seznec — MICRO 2016.
+
+The package implements the paper's contribution (RSEP: distance-predicted
+register-equality speculation through rename-stage physical register
+sharing) together with every substrate it is evaluated on: an 8-wide
+out-of-order timing model per Table I, a TAGE front end, a three-level
+cache hierarchy with prefetchers and DRAM, register renaming with ISRB
+reference counting, D-VTAGE value prediction, and synthetic SPEC CPU2006
+stand-in workloads.
+
+Quick start::
+
+    from repro import Simulator, MechanismConfig
+
+    sim = Simulator()
+    base = sim.run_benchmark("mcf", MechanismConfig.baseline())
+    rsep = sim.run_benchmark("mcf", MechanismConfig.rsep_ideal())
+    print(f"speedup: {rsep.ipc / base.ipc - 1.0:+.1%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.rsep import RsepConfig, RsepUnit
+from repro.core.validation import ValidationMode
+from repro.core.vp_engine import VpConfig, VpEngine
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.core import Pipeline
+from repro.pipeline.simulator import SimulationResult, Simulator
+from repro.pipeline.stats import Stats
+from repro.predictors.distance import (
+    DistancePredictor,
+    DistancePredictorConfig,
+)
+from repro.predictors.dvtage import DVtageConfig, DVtagePredictor
+from repro.workloads.spec2006 import benchmark_names, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "DVtageConfig",
+    "DVtagePredictor",
+    "DistancePredictor",
+    "DistancePredictorConfig",
+    "MechanismConfig",
+    "Pipeline",
+    "RsepConfig",
+    "RsepUnit",
+    "SimulationResult",
+    "Simulator",
+    "Stats",
+    "ValidationMode",
+    "VpConfig",
+    "VpEngine",
+    "__version__",
+    "benchmark_names",
+    "generate_trace",
+]

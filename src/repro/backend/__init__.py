@@ -1,0 +1,16 @@
+"""Out-of-order backend resources: ROB, IQ, LSQ, FUs, Store Sets."""
+
+from repro.backend.fu import IssuePorts, PortConfig
+from repro.backend.iq import IssueQueue
+from repro.backend.lsq import LoadStoreQueues
+from repro.backend.rob import ReorderBuffer
+from repro.backend.store_sets import StoreSets
+
+__all__ = [
+    "IssuePorts",
+    "IssueQueue",
+    "LoadStoreQueues",
+    "PortConfig",
+    "ReorderBuffer",
+    "StoreSets",
+]

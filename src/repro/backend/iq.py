@@ -1,0 +1,51 @@
+"""Unified instruction queue / scheduler (Table I: 60 entries).
+
+The IQ holds dispatched-but-not-issued instructions.  Selection is
+oldest-first among ready instructions, bounded by issue ports.  The
+readiness predicate itself lives in the pipeline (it touches register
+ready times, LSQ state and RSEP validation ordering); the IQ provides
+bounded storage and ordered iteration.
+"""
+
+from __future__ import annotations
+
+
+class IssueQueue:
+    """Bounded, age-ordered scheduler window."""
+
+    def __init__(self, capacity: int = 60) -> None:
+        if capacity <= 0:
+            raise ValueError("IQ needs at least one entry")
+        self.capacity = capacity
+        self._entries: list = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        """Oldest-first iteration (entries are inserted in age order)."""
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def insert(self, op) -> None:
+        if self.full:
+            raise OverflowError("IQ overflow")
+        self._entries.append(op)
+
+    def remove_issued(self, issued: list) -> None:
+        """Drop the instructions selected this cycle."""
+        if not issued:
+            return
+        issued_set = set(map(id, issued))
+        self._entries = [
+            op for op in self._entries if id(op) not in issued_set
+        ]
+
+    def squash(self, predicate) -> int:
+        """Drop entries matching *predicate*; returns how many."""
+        before = len(self._entries)
+        self._entries = [op for op in self._entries if not predicate(op)]
+        return before - len(self._entries)

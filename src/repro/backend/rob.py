@@ -1,0 +1,53 @@
+"""Reorder buffer: the in-order backbone of the out-of-order core.
+
+Holds in-flight instructions in program order (Table I: 192 entries).
+Commit drains from the head; squashes drop from the tail.  RSEP's
+rename-side producer FIFO (§IV.E.1) is a separate structure
+(:class:`repro.core.sharing.ProducerWindow`) managed alongside it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ReorderBuffer:
+    """Bounded FIFO of in-flight instructions."""
+
+    def __init__(self, capacity: int = 192) -> None:
+        if capacity <= 0:
+            raise ValueError("ROB needs at least one entry")
+        self.capacity = capacity
+        self._entries: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, op) -> None:
+        if self.full:
+            raise OverflowError("ROB overflow")
+        self._entries.append(op)
+
+    def head(self):
+        return self._entries[0]
+
+    def pop_head(self):
+        return self._entries.popleft()
+
+    def pop_tail(self):
+        """Remove the youngest entry (squash walk-back)."""
+        return self._entries.pop()
+
+    def tail(self):
+        return self._entries[-1]

@@ -1,0 +1,87 @@
+"""Store Sets memory dependence predictor (Chrysos & Emer [36]).
+
+Table I: 2K-entry SSIT, 1K-entry LFST, not rolled back on squash.  Loads
+that have violated memory ordering in the past are assigned to the *store
+set* of the offending store; at dispatch they acquire a dependence on the
+most recent in-flight store of that set and wait for it to execute.
+"""
+
+from __future__ import annotations
+
+
+class StoreSets:
+    """SSIT + LFST memory dependence predictor."""
+
+    INVALID = -1
+
+    def __init__(self, ssit_entries: int = 2048, lfst_entries: int = 1024) -> None:
+        if ssit_entries & (ssit_entries - 1) or lfst_entries & (lfst_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self._ssit = [self.INVALID] * ssit_entries
+        self._ssit_mask = ssit_entries - 1
+        self._lfst: list[object | None] = [None] * lfst_entries
+        self._lfst_mask = lfst_entries - 1
+        self.violations_trained = 0
+        self.dependencies_imposed = 0
+
+    # ------------------------------------------------------------------
+
+    def _ssit_index(self, pc: int) -> int:
+        return (pc >> 2) & self._ssit_mask
+
+    def _ssid_of(self, pc: int) -> int:
+        return self._ssit[self._ssit_index(pc)]
+
+    # ------------------------------------------------------------------
+
+    def load_dependency(self, load_pc: int):
+        """At load dispatch: the in-flight store this load must wait for
+        (an opaque object registered by :meth:`store_dispatched`), or None.
+        """
+        ssid = self._ssid_of(load_pc)
+        if ssid == self.INVALID:
+            return None
+        store = self._lfst[ssid & self._lfst_mask]
+        if store is not None:
+            self.dependencies_imposed += 1
+        return store
+
+    def store_dispatched(self, store_pc: int, store_ref) -> None:
+        """At store dispatch: become the last fetched store of the set."""
+        ssid = self._ssid_of(store_pc)
+        if ssid != self.INVALID:
+            self._lfst[ssid & self._lfst_mask] = store_ref
+
+    def store_completed(self, store_pc: int, store_ref) -> None:
+        """At store execute/commit: clear the LFST if still ours."""
+        ssid = self._ssid_of(store_pc)
+        if ssid != self.INVALID:
+            slot = ssid & self._lfst_mask
+            if self._lfst[slot] is store_ref:
+                self._lfst[slot] = None
+
+    # ------------------------------------------------------------------
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """A load executed before an older conflicting store: merge sets.
+
+        Chrysos & Emer's assignment rules, with the common simplification
+        of merging into the smaller SSID.
+        """
+        self.violations_trained += 1
+        load_index = self._ssit_index(load_pc)
+        store_index = self._ssit_index(store_pc)
+        load_ssid = self._ssit[load_index]
+        store_ssid = self._ssit[store_index]
+        if load_ssid == self.INVALID and store_ssid == self.INVALID:
+            ssid = store_index  # new set named after the store
+            self._ssit[load_index] = ssid
+            self._ssit[store_index] = ssid
+        elif load_ssid == self.INVALID:
+            self._ssit[load_index] = store_ssid
+        elif store_ssid == self.INVALID:
+            self._ssit[store_index] = load_ssid
+        else:
+            winner = min(load_ssid, store_ssid)
+            self._ssit[load_index] = winner
+            self._ssit[store_index] = winner

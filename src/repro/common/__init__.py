@@ -1,0 +1,40 @@
+"""Shared low-level utilities: bit manipulation, RNG, counters, histories."""
+
+from repro.common.bitops import (
+    DEFAULT_HASH_BITS,
+    MASK64,
+    fold_bits,
+    fold_hash,
+    from_signed64,
+    mask64,
+    to_signed64,
+)
+from repro.common.counters import (
+    FPC_DEFAULT_PROBABILITIES,
+    ProbabilisticCounter,
+    SaturatingCounter,
+    expected_occurrences_to_saturate,
+)
+from repro.common.history import FoldedRegister, GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport, bits_to_kib
+
+__all__ = [
+    "DEFAULT_HASH_BITS",
+    "MASK64",
+    "FPC_DEFAULT_PROBABILITIES",
+    "FoldedRegister",
+    "GlobalHistory",
+    "PathHistory",
+    "ProbabilisticCounter",
+    "SaturatingCounter",
+    "StorageReport",
+    "XorShift64",
+    "bits_to_kib",
+    "expected_occurrences_to_saturate",
+    "fold_bits",
+    "fold_hash",
+    "from_signed64",
+    "mask64",
+    "to_signed64",
+]

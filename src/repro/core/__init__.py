@@ -1,0 +1,25 @@
+"""RSEP core: hashing, pairing, sharing, validation, the RSEP and VP units."""
+
+from repro.core.ddt import DistanceDependencyTable
+from repro.core.fifo_history import FifoHistory
+from repro.core.hashing import HashRegisterFile, hash_collision_rate
+from repro.core.rsep import RsepConfig, RsepStats, RsepUnit
+from repro.core.sharing import ProducerWindow
+from repro.core.validation import ValidationMode, ValidationQueue
+from repro.core.vp_engine import VpConfig, VpEngine, VpStats
+
+__all__ = [
+    "DistanceDependencyTable",
+    "FifoHistory",
+    "HashRegisterFile",
+    "ProducerWindow",
+    "RsepConfig",
+    "RsepStats",
+    "RsepUnit",
+    "ValidationMode",
+    "ValidationQueue",
+    "VpConfig",
+    "VpEngine",
+    "VpStats",
+    "hash_collision_rate",
+]

@@ -1,0 +1,85 @@
+"""Data Dependency Table pairing (§IV.B.1, after Sha et al. [10]).
+
+The DDT alternative indexes a table *by result hash*; each entry holds the
+commit sequence number of the last producer of that hash.  A committing
+instruction reads the entry to compute its IDist and then overwrites it
+with its own CSN.
+
+Two structural weaknesses the paper points out (and the ablation bench
+reproduces):
+
+* indexed by value hash, it cannot be banked by PC, so multi-commit
+  cycles need a heavily multi-ported table (impractical — §IV.B.1);
+* it can only pair with the *most recent* older producer of the hash, so
+  per-chance matches (hash noise, transient equalities) displace the
+  stable pair the predictor is trying to learn (§VI.A.2).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitops import DEFAULT_HASH_BITS
+from repro.common.storage import StorageReport
+
+
+class DistanceDependencyTable:
+    """Hash-indexed last-producer table."""
+
+    def __init__(
+        self,
+        log2_entries: int = 14,
+        hash_bits: int = DEFAULT_HASH_BITS,
+        csn_bits: int = 10,
+    ) -> None:
+        entries = 1 << log2_entries
+        self.hash_bits = hash_bits
+        self.csn_bits = csn_bits
+        self._mask = entries - 1
+        self._last_index: list[int] = [-1] * entries
+        self._count = 0
+        self.searches = 0
+        self.matches = 0
+
+    @property
+    def producer_count(self) -> int:
+        return self._count
+
+    def push(self, value_hash: int) -> int:
+        """Record one committed producer; returns its producer index."""
+        index = self._count
+        self._count += 1
+        self._last_index[value_hash & self._mask] = index
+        return index
+
+    def find(
+        self,
+        value_hash: int,
+        max_distance: int,
+        preferred_distance: int | None = None,
+    ) -> int | None:
+        """IDist to the most recent producer of this hash, if in range.
+
+        ``preferred_distance`` is accepted for interface compatibility with
+        :class:`~repro.core.fifo_history.FifoHistory` but cannot be
+        honoured: the DDT only remembers the most recent producer — that is
+        exactly its weakness.
+        """
+        self.searches += 1
+        last = self._last_index[value_hash & self._mask]
+        if last < 0:
+            return None
+        distance = self._count - last
+        if distance <= 0 or distance > max_distance:
+            return None
+        self.matches += 1
+        return distance
+
+    def record_commit_group(self, eligible_in_group: int) -> None:
+        """Interface parity with FifoHistory; the DDT has no comparators."""
+
+    def storage_report(self) -> StorageReport:
+        report = StorageReport("Data Dependency Table")
+        report.add(
+            f"{self._mask + 1} entries × {self.csn_bits}b CSN",
+            (self._mask + 1) * self.csn_bits,
+        )
+        return report

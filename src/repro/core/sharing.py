@@ -1,0 +1,60 @@
+"""Rename-side producer window: the ROB mirror of §IV.E.1.
+
+With a predicted IDist, RSEP must find the physical register of the
+producer sitting that many result-producing instructions back.  The paper
+keeps a dedicated FIFO managed with the ROB's head and tail pointers so the
+main ROB needs no extra read ports.  Because rename and commit are both
+in-order, the in-flight producers always form a contiguous suffix of the
+producer sequence: indexing ``window[-distance]`` either lands exactly on
+the intended producer or falls off the window (the ``IDist <= ROB
+occupancy`` check of Fig. 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ProducerWindow:
+    """FIFO of in-flight result-producing instructions, rename order."""
+
+    def __init__(self, capacity: int = 192) -> None:
+        if capacity <= 0:
+            raise ValueError("window needs at least one entry")
+        self.capacity = capacity
+        self._window: deque = deque()
+        self.out_of_window = 0
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def push(self, op) -> None:
+        """Called when a result producer renames."""
+        if len(self._window) >= self.capacity:
+            # The ROB bounds in-flight producers, so this cannot happen in
+            # a consistent pipeline; guard anyway.
+            raise OverflowError("producer window overflow")
+        self._window.append(op)
+
+    def retire_head(self, op) -> None:
+        """Called when a result producer commits (must be the oldest)."""
+        if not self._window or self._window[0] is not op:
+            raise ValueError("producer window commit order violated")
+        self._window.popleft()
+
+    def squash_tail(self, op) -> None:
+        """Called when a result producer is squashed (must be the youngest)."""
+        if not self._window or self._window[-1] is not op:
+            raise ValueError("producer window squash order violated")
+        self._window.pop()
+
+    def producer_at(self, distance: int):
+        """The producer *distance* result-producers back, or None.
+
+        ``distance`` is relative to the instruction *about to be renamed*
+        (distance 1 = youngest in-flight producer).
+        """
+        if distance <= 0 or distance > len(self._window):
+            self.out_of_window += 1
+            return None
+        return self._window[-distance]

@@ -1,0 +1,91 @@
+"""Equality-prediction validation models (paper §IV.F, measured in Fig. 6).
+
+A distance-predicted instruction does not own a destination register, so
+its result must be compared against the shared register.  The paper's
+implementation re-issues the predicted instruction as a compare µ-op that
+catches the result on the bypass network.  Three cost models:
+
+* ``IDEAL`` — validation is free (the potential-measuring mode of Fig. 4);
+* ``REISSUE_LOCK_FU`` — the compare must issue to the same port class as
+  the instruction it validates (load validations steal load ports — the
+  scheme that collapses load-bound benchmarks in Fig. 6);
+* ``REISSUE_ANY_FU`` — the compare may issue anywhere via the global
+  bypass network, non-load ports first (the recommended scheme).
+
+Validation µ-ops are prioritised by the picker and become eligible only
+when the validated instruction's result is available (its completion
+cycle), which generalises the fixed/variable-latency handling of §IV.F.1a.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.backend.fu import IssuePorts
+from repro.isa.opcodes import FuClass
+
+
+class ValidationMode(Enum):
+    """How validation µ-ops consume pipeline resources."""
+
+    IDEAL = "ideal"
+    REISSUE_LOCK_FU = "reissue_lock_fu"
+    REISSUE_ANY_FU = "reissue_any_fu"
+
+
+class ValidationQueue:
+    """Pending validation µ-ops awaiting issue."""
+
+    def __init__(self, mode: ValidationMode) -> None:
+        self.mode = mode
+        self._pending: list = []  # ops, kept oldest-first
+        self.issued = 0
+        self.delayed_cycles = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def request(self, op) -> None:
+        """Register a validation µ-op for *op*.
+
+        In IDEAL mode validation completes with the instruction itself.
+        Otherwise the µ-op becomes ready at the instruction's completion
+        (its operand arrives on the bypass network) and must win an issue
+        port; the compare takes one cycle.
+        """
+        if self.mode is ValidationMode.IDEAL:
+            op.validation_done_cycle = op.complete_cycle
+            return
+        self._pending.append(op)
+
+    def issue_cycle(self, cycle: int, ports: IssuePorts) -> list:
+        """Issue ready validation µ-ops at *cycle* (picker priority).
+
+        Returns the ops whose validation issued.  Must be called before
+        normal instruction selection so validations claim ports first
+        (§IV.F.1).
+        """
+        if self.mode is ValidationMode.IDEAL or not self._pending:
+            return []
+        lock = self.mode is ValidationMode.REISSUE_LOCK_FU
+        issued = []
+        for op in self._pending:
+            if op.complete_cycle is None or op.complete_cycle > cycle:
+                continue
+            fu = FuClass(op.d.fu)
+            if not ports.try_issue_validation(fu, cycle, lock):
+                break  # ports exhausted this cycle; keep priority order
+            op.validation_done_cycle = cycle + 1
+            self.delayed_cycles += cycle - op.complete_cycle
+            issued.append(op)
+        if issued:
+            self.issued += len(issued)
+            issued_ids = set(map(id, issued))
+            self._pending = [
+                op for op in self._pending if id(op) not in issued_ids
+            ]
+        return issued
+
+    def squash(self, min_seq: int) -> None:
+        """Drop validation requests of squashed instructions."""
+        self._pending = [op for op in self._pending if op.d.seq < min_seq]

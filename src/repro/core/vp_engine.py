@@ -1,0 +1,82 @@
+"""Value prediction engine: D-VTAGE behind the same interface style as RSEP.
+
+Wraps the predictor with the commit-time validation bookkeeping of [7]:
+predict at rename, write the predicted value into the freshly allocated
+physical register (dependents may issue immediately), validate at commit,
+full squash on misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport
+from repro.predictors.confidence import ConfidenceScale, SCALED
+from repro.predictors.dvtage import DVtageConfig, DVtagePredictor, ValuePrediction
+
+
+@dataclass(frozen=True)
+class VpConfig:
+    """Value prediction configuration (paper: [6]'s D-VTAGE)."""
+
+    dvtage: DVtageConfig = field(default_factory=DVtageConfig)
+
+
+@dataclass
+class VpStats:
+    lookups: int = 0
+    confident: int = 0
+    used: int = 0
+    committed_correct: int = 0
+    committed_wrong: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.committed_correct + self.committed_wrong
+        return self.committed_correct / total if total else 1.0
+
+
+class VpEngine:
+    """D-VTAGE with stats and squash hooks."""
+
+    def __init__(
+        self,
+        config: VpConfig,
+        history: GlobalHistory,
+        path: PathHistory,
+        rng: XorShift64,
+        scale: ConfidenceScale = SCALED,
+    ) -> None:
+        self.config = config
+        self.predictor = DVtagePredictor(
+            config.dvtage, history, path, rng.fork(0x7A6E), scale
+        )
+        self.stats = VpStats()
+
+    def lookup(self, pc: int) -> ValuePrediction:
+        self.stats.lookups += 1
+        prediction = self.predictor.predict(pc)
+        if prediction.predicted():
+            self.stats.confident += 1
+        return prediction
+
+    def train(self, prediction: ValuePrediction, actual: int) -> None:
+        self.predictor.train(prediction, actual)
+
+    def release(self, prediction: ValuePrediction) -> None:
+        """Squash path: retire the in-flight occurrence without training."""
+        self.predictor.release(prediction)
+
+    def on_commit_used(self, correct: bool) -> None:
+        if correct:
+            self.stats.committed_correct += 1
+        else:
+            self.stats.committed_wrong += 1
+
+    def on_mispredict(self, prediction: ValuePrediction) -> None:
+        self.predictor.on_mispredict(prediction)
+
+    def storage_report(self) -> StorageReport:
+        return self.predictor.storage_report()

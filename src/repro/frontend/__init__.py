@@ -1,0 +1,16 @@
+"""Front-end models: TAGE branch prediction, BTB, RAS."""
+
+from repro.frontend.branch_unit import BranchUnit, FetchOutcome
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+from repro.frontend.tage import BranchPrediction, TageBranchPredictor, TageConfig
+
+__all__ = [
+    "BranchPrediction",
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "FetchOutcome",
+    "ReturnAddressStack",
+    "TageBranchPredictor",
+    "TageConfig",
+]

@@ -1,0 +1,234 @@
+"""TAGE conditional branch predictor (Table I: 1 + 12 components, ~15K entries).
+
+A faithful software TAGE in the spirit of Seznec & Michaud [31]: a bimodal
+base table plus 12 partially tagged components with geometrically growing
+history lengths, usefulness counters, provider/altpred update and randomised
+allocation on mispredictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport
+from repro.predictors.tagged_table import (
+    ComponentGeometry,
+    GeometricIndexer,
+    Lookup,
+    UsefulnessMonitor,
+    geometric_history_lengths,
+)
+
+
+@dataclass(frozen=True)
+class TageConfig:
+    """Branch-TAGE geometry; defaults follow Table I."""
+
+    base_log2_entries: int = 12          # 4K-entry bimodal base
+    tagged_components: int = 12
+    tagged_log2_entries: int = 10        # 1K entries each -> ~16K total
+    min_history: int = 4
+    max_history: int = 640
+    min_tag_bits: int = 8
+    max_tag_bits: int = 14
+    counter_bits: int = 3
+    useful_bits: int = 2
+
+    def geometries(self) -> list[ComponentGeometry]:
+        lengths = geometric_history_lengths(
+            self.min_history, self.max_history, self.tagged_components
+        )
+        tags = [
+            self.min_tag_bits
+            + round(
+                (self.max_tag_bits - self.min_tag_bits)
+                * index
+                / max(1, self.tagged_components - 1)
+            )
+            for index in range(self.tagged_components)
+        ]
+        return [
+            ComponentGeometry(self.tagged_log2_entries, tag, length)
+            for tag, length in zip(tags, lengths)
+        ]
+
+
+@dataclass
+class BranchPrediction:
+    """Everything commit needs to train the entries that predicted."""
+
+    taken: bool
+    lookup: Lookup
+    provider: int          # component index, -1 = base
+    provider_pred: bool
+    alt_pred: bool
+    base_index: int
+
+
+class TageBranchPredictor:
+    """The Table I conditional-branch predictor."""
+
+    def __init__(
+        self,
+        config: TageConfig,
+        history: GlobalHistory,
+        path: PathHistory,
+        rng: XorShift64,
+    ) -> None:
+        self.config = config
+        self._geometries = config.geometries()
+        self._indexer = GeometricIndexer(self._geometries, history, path)
+        self._rng = rng
+        base_entries = 1 << config.base_log2_entries
+        self._base = [2] * base_entries  # weakly taken
+        self._base_mask = base_entries - 1
+        # Parallel arrays per tagged component: tag, counter, useful.
+        self._tags = [[0] * g.entries for g in self._geometries]
+        self._ctrs = [[4] * g.entries for g in self._geometries]
+        self._useful = [[0] * g.entries for g in self._geometries]
+        self._ctr_max = (1 << config.counter_bits) - 1
+        self._ctr_taken = 1 << (config.counter_bits - 1)
+        self._useful_max = (1 << config.useful_bits) - 1
+        self._monitor = UsefulnessMonitor()
+
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> BranchPrediction:
+        """Predict the direction of the conditional branch at *pc*."""
+        lookup = self._indexer.lookup(pc)
+        base_index = (pc >> 2) & self._base_mask
+        base_pred = self._base[base_index] >= 2
+
+        provider = -1
+        alt = -1
+        for component in range(len(self._geometries) - 1, -1, -1):
+            if self._tags[component][lookup.indices[component]] == lookup.tags[
+                component
+            ]:
+                if provider < 0:
+                    provider = component
+                else:
+                    alt = component
+                    break
+
+        if provider >= 0:
+            provider_pred = (
+                self._ctrs[provider][lookup.indices[provider]]
+                >= self._ctr_taken
+            )
+        else:
+            provider_pred = base_pred
+        if alt >= 0:
+            alt_pred = self._ctrs[alt][lookup.indices[alt]] >= self._ctr_taken
+        else:
+            alt_pred = base_pred
+
+        return BranchPrediction(
+            taken=provider_pred,
+            lookup=lookup,
+            provider=provider,
+            provider_pred=provider_pred,
+            alt_pred=alt_pred,
+            base_index=base_index,
+        )
+
+    # ------------------------------------------------------------------
+
+    def update(self, prediction: BranchPrediction, taken: bool) -> None:
+        """Commit-time training with the actual outcome."""
+        mispredicted = prediction.taken != taken
+        provider = prediction.provider
+        lookup = prediction.lookup
+
+        if provider >= 0:
+            index = lookup.indices[provider]
+            self._bump_counter(self._ctrs[provider], index, taken)
+            if prediction.provider_pred != prediction.alt_pred:
+                useful = self._useful[provider]
+                if prediction.provider_pred == taken:
+                    if useful[index] < self._useful_max:
+                        useful[index] += 1
+                elif useful[index] > 0:
+                    useful[index] -= 1
+            # The bimodal base trains when it was the alternative.
+            if provider == 0 or prediction.alt_pred == (
+                self._base[prediction.base_index] >= 2
+            ):
+                self._bump_base(prediction.base_index, taken)
+        else:
+            self._bump_base(prediction.base_index, taken)
+
+        if mispredicted and provider < len(self._geometries) - 1:
+            self._allocate(lookup, provider, taken)
+
+    def _bump_counter(self, counters: list[int], index: int, taken: bool) -> None:
+        value = counters[index]
+        if taken:
+            if value < self._ctr_max:
+                counters[index] = value + 1
+        elif value > 0:
+            counters[index] = value - 1
+
+    def _bump_base(self, index: int, taken: bool) -> None:
+        value = self._base[index]
+        if taken:
+            if value < 3:
+                self._base[index] = value + 1
+        elif value > 0:
+            self._base[index] = value - 1
+
+    def _allocate(self, lookup: Lookup, provider: int, taken: bool) -> None:
+        """Allocate a new entry in a longer-history component ([31])."""
+        candidates = [
+            component
+            for component in range(provider + 1, len(self._geometries))
+            if self._useful[component][lookup.indices[component]] == 0
+        ]
+        if not candidates:
+            # Allocation failure: age the blocking entries.
+            for component in range(provider + 1, len(self._geometries)):
+                index = lookup.indices[component]
+                if self._useful[component][index] > 0:
+                    self._useful[component][index] -= 1
+            if self._monitor.on_allocation_failure():
+                self._age_all_useful()
+            return
+        # Prefer the shorter-history candidate with probability 2/3.
+        if len(candidates) > 1 and not self._rng.chance(2 / 3):
+            chosen = self._rng.choice(candidates[1:])
+        else:
+            chosen = candidates[0]
+        index = lookup.indices[chosen]
+        self._tags[chosen][index] = lookup.tags[chosen]
+        self._ctrs[chosen][index] = (
+            self._ctr_taken if taken else self._ctr_taken - 1
+        )
+        self._useful[chosen][index] = 0
+
+    def _age_all_useful(self) -> None:
+        for useful in self._useful:
+            for index, value in enumerate(useful):
+                if value > 0:
+                    useful[index] = value - 1
+
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> StorageReport:
+        report = StorageReport("TAGE branch predictor")
+        report.add_entries(
+            "base bimodal", 1 << self.config.base_log2_entries, 2
+        )
+        for number, geometry in enumerate(self._geometries, start=1):
+            bits = (
+                geometry.tag_bits
+                + self.config.counter_bits
+                + self.config.useful_bits
+            )
+            report.add_entries(
+                f"tagged component {number} (hist {geometry.history_bits})",
+                geometry.entries,
+                bits,
+            )
+        return report

@@ -1,0 +1,71 @@
+"""Report rendering: the ASCII tables and series the benches print.
+
+The paper reports per-benchmark IPC as the harmonic mean over checkpoints
+(§V) and figures as per-benchmark bar groups; these helpers render the
+same rows in plain text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, the paper's per-benchmark IPC aggregation (§V)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used for cross-benchmark speedup summaries."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:+.{digits}f}%"
+
+
+class Table:
+    """A fixed-column ASCII table."""
+
+    def __init__(self, headers: Sequence[str],
+                 widths: Sequence[int] | None = None) -> None:
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+        self._widths = list(widths) if widths else None
+
+    def add_row(self, *cells) -> None:
+        row = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in cells
+        ]
+        if len(row) != len(self.headers):
+            raise ValueError("row width does not match headers")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = self._widths or [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        def line(cells):
+            return "  ".join(
+                str(cell).ljust(width) if index == 0 else
+                str(cell).rjust(width)
+                for index, (cell, width) in enumerate(zip(cells, widths))
+            )
+        out = [line(self.headers)]
+        out.append("  ".join("-" * w for w in widths))
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,113 @@
+"""Experiment runner: benchmark × mechanism × seed sweeps with aggregation.
+
+Follows the paper's methodology (§V): several checkpoints (seeds) per
+benchmark, per-benchmark IPC as the harmonic mean across checkpoints, and
+speedups against the matching baseline runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.harness.reporting import harmonic_mean
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.simulator import SimulationResult, Simulator
+from repro.pipeline.stats import Stats
+from repro.workloads.spec2006 import benchmark_names
+
+
+def default_seeds() -> list[int]:
+    """Checkpoint seeds (paper: 10 checkpoints; default here: 1, scalable
+    through the REPRO_SEEDS environment variable)."""
+    return list(range(1, int(os.environ.get("REPRO_SEEDS", "1")) + 1))
+
+
+@dataclass
+class BenchmarkOutcome:
+    """All runs of one (benchmark, mechanism) cell."""
+
+    benchmark: str
+    mechanism: str
+    results: list[SimulationResult] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return harmonic_mean(result.ipc for result in self.results)
+
+    def stat_sum(self, name: str) -> int:
+        return sum(getattr(result.stats, name) for result in self.results)
+
+    def stat_fraction(self, name: str) -> float:
+        committed = self.stat_sum("committed")
+        return self.stat_sum(name) / committed if committed else 0.0
+
+    @property
+    def merged_stats(self) -> list[Stats]:
+        return [result.stats for result in self.results]
+
+
+class ExperimentRunner:
+    """Runs mechanism sweeps and answers speedup queries."""
+
+    def __init__(
+        self,
+        core_config: CoreConfig | None = None,
+        benchmarks: list[str] | None = None,
+        seeds: list[int] | None = None,
+        warmup: int | None = None,
+        measure: int | None = None,
+    ) -> None:
+        self.simulator = Simulator(core_config)
+        self.benchmarks = benchmarks or benchmark_names()
+        self.seeds = seeds or default_seeds()
+        self.warmup = warmup
+        self.measure = measure
+        self._cells: dict[tuple[str, str], BenchmarkOutcome] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, mechanisms: list[MechanismConfig]) -> None:
+        """Execute every (benchmark, mechanism, seed) combination."""
+        for benchmark in self.benchmarks:
+            for mechanism in mechanisms:
+                self.run_cell(benchmark, mechanism)
+
+    def run_cell(
+        self, benchmark: str, mechanism: MechanismConfig
+    ) -> BenchmarkOutcome:
+        """Execute (and memoise) one benchmark/mechanism cell."""
+        key = (benchmark, mechanism.name)
+        cell = self._cells.get(key)
+        if cell is not None:
+            return cell
+        cell = BenchmarkOutcome(benchmark, mechanism.name)
+        for seed in self.seeds:
+            cell.results.append(
+                self.simulator.run_benchmark(
+                    benchmark,
+                    mechanism,
+                    warmup=self.warmup,
+                    measure=self.measure,
+                    seed=seed,
+                )
+            )
+        self._cells[key] = cell
+        return cell
+
+    # ------------------------------------------------------------------
+
+    def outcome(self, benchmark: str, mechanism_name: str) -> BenchmarkOutcome:
+        return self._cells[(benchmark, mechanism_name)]
+
+    def speedup(
+        self,
+        benchmark: str,
+        mechanism_name: str,
+        baseline_name: str = "baseline",
+    ) -> float:
+        """Relative speedup of *mechanism_name* over *baseline_name*."""
+        base = self.outcome(benchmark, baseline_name).ipc
+        if base <= 0:
+            return 0.0
+        return self.outcome(benchmark, mechanism_name).ipc / base - 1.0

@@ -1,0 +1,47 @@
+"""The Aarch64-flavoured micro-ISA: opcodes, registers, instructions."""
+
+from repro.isa.instruction import DynInst, Instr, NO_ADDR, NO_REG
+from repro.isa.opcodes import FuClass, OP_INFO, OpInfo, Opcode, op_info
+from repro.isa.program import CODE_BASE, INSTR_BYTES, Program, ProgramError
+from repro.isa.registers import (
+    FP_BASE,
+    LINK_REG,
+    NUM_ARCH_REGS,
+    NUM_FP_ARCH_REGS,
+    NUM_INT_ARCH_REGS,
+    RegClass,
+    XZR,
+    f,
+    is_zero_reg,
+    reg_class,
+    reg_name,
+    x,
+)
+
+__all__ = [
+    "CODE_BASE",
+    "DynInst",
+    "FP_BASE",
+    "FuClass",
+    "INSTR_BYTES",
+    "Instr",
+    "LINK_REG",
+    "NO_ADDR",
+    "NO_REG",
+    "NUM_ARCH_REGS",
+    "NUM_FP_ARCH_REGS",
+    "NUM_INT_ARCH_REGS",
+    "OP_INFO",
+    "OpInfo",
+    "Opcode",
+    "Program",
+    "ProgramError",
+    "RegClass",
+    "XZR",
+    "f",
+    "is_zero_reg",
+    "op_info",
+    "reg_class",
+    "reg_name",
+    "x",
+]

@@ -1,0 +1,204 @@
+"""Opcode definitions and static metadata for the micro-ISA.
+
+Each opcode carries enough metadata for decode, rename and the timing model:
+which functional-unit class executes it, its execution latency (Table I),
+whether it reads/writes memory, whether it produces a register result, and
+whether it is recognised by the front-end as a zero idiom or a register move
+(the non-speculative eliminations of §III / §IV.H.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Opcode(IntEnum):
+    """All instructions of the micro-ISA."""
+
+    # Integer ALU, register-register.
+    ADD = 0
+    SUB = 1
+    AND = 2
+    ORR = 3
+    EOR = 4
+    LSL = 5
+    LSR = 6
+    # Integer ALU, register-immediate.
+    ADDI = 7
+    SUBI = 8
+    ANDI = 9
+    ORRI = 10
+    EORI = 11
+    LSLI = 12
+    LSRI = 13
+    # Constant / move.
+    MOVZ = 14  # rd <- imm
+    MOV = 15   # rd <- rs1 (64-bit register move, move-elimination candidate)
+    # Long-latency integer.
+    MUL = 16
+    DIV = 17
+    # Memory, integer.
+    LDR = 18   # rd <- mem64[rs1 + imm]
+    LDRB = 19  # rd <- zext(mem8[rs1 + imm])
+    STR = 20   # mem64[rs1 + imm] <- rs2
+    # Control flow (compare-and-branch, MIPS style: no flags).
+    B = 21     # unconditional
+    BEQ = 22   # taken iff rs1 == rs2
+    BNE = 23
+    BLT = 24   # signed <
+    BGE = 25   # signed >=
+    BL = 26    # call: X30 <- return pc, jump to target
+    RET = 27   # jump to rs1 (conventionally X30)
+    # Floating point (operands are raw 64-bit patterns of float64 values).
+    FADD = 28
+    FSUB = 29
+    FMUL = 30
+    FDIV = 31
+    FMOV = 32   # fd <- fs1
+    FMOVI = 33  # fd <- bits(imm_float)
+    FLDR = 34   # fd <- mem64[rs1 + imm]
+    FSTR = 35   # mem64[rs1 + imm] <- fs2
+    # Misc.
+    NOP = 36
+    HALT = 37
+
+
+class FuClass(IntEnum):
+    """Functional-unit class, matching the port mix of Table I."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    MEM_LOAD = 6
+    MEM_STORE = 7
+    BRANCH = 8
+    NONE = 9  # eliminated at rename / NOP: consumes no issue slot
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    fu_class: FuClass
+    latency: int
+    writes_reg: bool
+    reads_rs1: bool
+    reads_rs2: bool
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_conditional: bool = False
+    is_call: bool = False
+    is_return: bool = False
+    is_fp: bool = False
+    pipelined: bool = True
+
+
+# Execution latencies follow Table I: ALU 1c, Mul 3c, Div 25c (not
+# pipelined), FP 3c, FPDiv 11c (not pipelined).  Load latency is determined
+# by the memory hierarchy, so the value here is only the address-generation
+# cost folded into the cache access in the timing model.
+_ALU = dict(fu_class=FuClass.INT_ALU, latency=1, writes_reg=True)
+_FP3 = dict(fu_class=FuClass.FP_ALU, latency=3, writes_reg=True, is_fp=True)
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: OpInfo("add", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.SUB: OpInfo("sub", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.AND: OpInfo("and", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.ORR: OpInfo("orr", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.EOR: OpInfo("eor", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.LSL: OpInfo("lsl", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.LSR: OpInfo("lsr", reads_rs1=True, reads_rs2=True, **_ALU),
+    Opcode.ADDI: OpInfo("addi", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.SUBI: OpInfo("subi", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.ANDI: OpInfo("andi", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.ORRI: OpInfo("orri", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.EORI: OpInfo("eori", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.LSLI: OpInfo("lsli", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.LSRI: OpInfo("lsri", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.MOVZ: OpInfo("movz", reads_rs1=False, reads_rs2=False, **_ALU),
+    Opcode.MOV: OpInfo("mov", reads_rs1=True, reads_rs2=False, **_ALU),
+    Opcode.MUL: OpInfo(
+        "mul", FuClass.INT_MUL, 3, True, reads_rs1=True, reads_rs2=True
+    ),
+    Opcode.DIV: OpInfo(
+        "div", FuClass.INT_DIV, 25, True,
+        reads_rs1=True, reads_rs2=True, pipelined=False,
+    ),
+    Opcode.LDR: OpInfo(
+        "ldr", FuClass.MEM_LOAD, 1, True,
+        reads_rs1=True, reads_rs2=False, is_load=True,
+    ),
+    Opcode.LDRB: OpInfo(
+        "ldrb", FuClass.MEM_LOAD, 1, True,
+        reads_rs1=True, reads_rs2=False, is_load=True,
+    ),
+    Opcode.STR: OpInfo(
+        "str", FuClass.MEM_STORE, 1, False,
+        reads_rs1=True, reads_rs2=True, is_store=True,
+    ),
+    Opcode.B: OpInfo(
+        "b", FuClass.BRANCH, 1, False,
+        reads_rs1=False, reads_rs2=False, is_branch=True,
+    ),
+    Opcode.BEQ: OpInfo(
+        "beq", FuClass.BRANCH, 1, False,
+        reads_rs1=True, reads_rs2=True, is_branch=True, is_conditional=True,
+    ),
+    Opcode.BNE: OpInfo(
+        "bne", FuClass.BRANCH, 1, False,
+        reads_rs1=True, reads_rs2=True, is_branch=True, is_conditional=True,
+    ),
+    Opcode.BLT: OpInfo(
+        "blt", FuClass.BRANCH, 1, False,
+        reads_rs1=True, reads_rs2=True, is_branch=True, is_conditional=True,
+    ),
+    Opcode.BGE: OpInfo(
+        "bge", FuClass.BRANCH, 1, False,
+        reads_rs1=True, reads_rs2=True, is_branch=True, is_conditional=True,
+    ),
+    Opcode.BL: OpInfo(
+        "bl", FuClass.BRANCH, 1, True,
+        reads_rs1=False, reads_rs2=False, is_branch=True, is_call=True,
+    ),
+    Opcode.RET: OpInfo(
+        "ret", FuClass.BRANCH, 1, False,
+        reads_rs1=True, reads_rs2=False, is_branch=True, is_return=True,
+    ),
+    Opcode.FADD: OpInfo("fadd", reads_rs1=True, reads_rs2=True, **_FP3),
+    Opcode.FSUB: OpInfo("fsub", reads_rs1=True, reads_rs2=True, **_FP3),
+    Opcode.FMUL: OpInfo(
+        "fmul", FuClass.FP_MUL, 3, True,
+        reads_rs1=True, reads_rs2=True, is_fp=True,
+    ),
+    Opcode.FDIV: OpInfo(
+        "fdiv", FuClass.FP_DIV, 11, True,
+        reads_rs1=True, reads_rs2=True, is_fp=True, pipelined=False,
+    ),
+    Opcode.FMOV: OpInfo("fmov", reads_rs1=True, reads_rs2=False, **_FP3),
+    Opcode.FMOVI: OpInfo("fmovi", reads_rs1=False, reads_rs2=False, **_FP3),
+    Opcode.FLDR: OpInfo(
+        "fldr", FuClass.MEM_LOAD, 1, True,
+        reads_rs1=True, reads_rs2=False, is_load=True, is_fp=True,
+    ),
+    Opcode.FSTR: OpInfo(
+        "fstr", FuClass.MEM_STORE, 1, False,
+        reads_rs1=True, reads_rs2=True, is_store=True, is_fp=True,
+    ),
+    Opcode.NOP: OpInfo(
+        "nop", FuClass.NONE, 0, False, reads_rs1=False, reads_rs2=False
+    ),
+    Opcode.HALT: OpInfo(
+        "halt", FuClass.NONE, 0, False, reads_rs1=False, reads_rs2=False
+    ),
+}
+
+
+def op_info(opcode: Opcode) -> OpInfo:
+    """Return the static metadata of *opcode*."""
+    return OP_INFO[opcode]

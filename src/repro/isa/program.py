@@ -1,0 +1,85 @@
+"""Programs: validated sequences of static instructions.
+
+A :class:`Program` is what the functional interpreter executes.  Programs
+are typically written through :class:`repro.workloads.builder.ProgramBuilder`
+which provides labels and loop helpers; this module owns the assembled
+artefact, its PC mapping and validation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instr, NO_REG
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import NUM_ARCH_REGS
+
+#: Base address of the code segment; arbitrary but non-zero so PC hashes are
+#: non-trivial.
+CODE_BASE = 0x1000
+
+#: Byte size of one instruction for PC arithmetic.
+INSTR_BYTES = 4
+
+
+class ProgramError(ValueError):
+    """Raised when a program fails validation."""
+
+
+class Program:
+    """An immutable, validated instruction sequence."""
+
+    def __init__(self, name: str, instructions: list[Instr]) -> None:
+        self.name = name
+        self.instructions = list(instructions)
+        self._validate()
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def pc_of(self, index: int) -> int:
+        """Byte PC of the instruction at *index*."""
+        return CODE_BASE + index * INSTR_BYTES
+
+    def index_of(self, pc: int) -> int:
+        """Static index of the instruction at byte PC *pc*."""
+        index, remainder = divmod(pc - CODE_BASE, INSTR_BYTES)
+        if remainder or not 0 <= index < len(self.instructions):
+            raise ProgramError(f"PC {pc:#x} is not a valid instruction address")
+        return index
+
+    def _validate(self) -> None:
+        if not self.instructions:
+            raise ProgramError("program is empty")
+        if self.instructions[-1].opcode != Opcode.HALT:
+            raise ProgramError("program must end with HALT")
+        for index, instr in enumerate(self.instructions):
+            info = instr.info
+            for role, reg, used in (
+                ("rd", instr.rd, info.writes_reg),
+                ("rs1", instr.rs1, info.reads_rs1),
+                ("rs2", instr.rs2, info.reads_rs2),
+            ):
+                if used and not 0 <= reg < NUM_ARCH_REGS:
+                    raise ProgramError(
+                        f"instruction {index} ({instr.disassemble()}): "
+                        f"{role} register {reg} out of range"
+                    )
+            if info.is_branch and not info.is_return:
+                if not 0 <= instr.target < len(self.instructions):
+                    raise ProgramError(
+                        f"instruction {index}: branch target {instr.target} "
+                        f"out of range"
+                    )
+
+    def disassemble(self) -> str:
+        """Full textual listing for debugging."""
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            lines.append(f"{self.pc_of(index):#07x}: {instr.disassemble()}")
+        return "\n".join(lines)
+
+    def static_result_producers(self) -> int:
+        """Number of static instructions that write a register."""
+        return sum(
+            1 for i in self.instructions
+            if i.info.writes_reg and i.rd != NO_REG
+        )

@@ -1,0 +1,67 @@
+"""Architectural register definitions.
+
+The micro-ISA is Aarch64-flavoured: 31 general-purpose integer registers
+``X0..X30`` plus the hardwired zero register ``XZR``, and 32 floating-point
+registers ``F0..F31``.  A single unified numbering is used throughout the
+simulator so that rename structures can be indexed with one integer:
+
+* integer registers occupy ``0..31`` (with ``31 == XZR``),
+* floating-point registers occupy ``32..63``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+NUM_INT_ARCH_REGS = 32
+NUM_FP_ARCH_REGS = 32
+NUM_ARCH_REGS = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS
+
+#: Hardwired zero register (Aarch64 XZR): reads as 0, writes are discarded.
+XZR = 31
+
+#: Link register used by calls (Aarch64 X30).
+LINK_REG = 30
+
+#: Offset of the floating-point register space in the unified numbering.
+FP_BASE = NUM_INT_ARCH_REGS
+
+
+class RegClass(IntEnum):
+    """Register class, determining which physical register file is used."""
+
+    INT = 0
+    FP = 1
+
+
+def x(index: int) -> int:
+    """Unified number of integer register ``X<index>``."""
+    if not 0 <= index < NUM_INT_ARCH_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def f(index: int) -> int:
+    """Unified number of floating-point register ``F<index>``."""
+    if not 0 <= index < NUM_FP_ARCH_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def reg_class(reg: int) -> RegClass:
+    """Return the :class:`RegClass` of a unified register number."""
+    return RegClass.FP if reg >= FP_BASE else RegClass.INT
+
+
+def is_zero_reg(reg: int) -> bool:
+    """True iff *reg* is the hardwired integer zero register."""
+    return reg == XZR
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable register name for disassembly."""
+    if reg == XZR:
+        return "xzr"
+    if reg < FP_BASE:
+        return f"x{reg}"
+    return f"f{reg - FP_BASE}"

@@ -1,0 +1,21 @@
+"""Memory system: caches, prefetchers, DRAM, TLBs, the full hierarchy."""
+
+from repro.memory.cache import Cache, CacheStats, LINE_SHIFT
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
+from repro.memory.tlb import PAGE_SHIFT, Tlb
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "DramConfig",
+    "DramModel",
+    "LINE_SHIFT",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "PAGE_SHIFT",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "Tlb",
+]

@@ -1,0 +1,97 @@
+"""Hardware prefetchers of Table I: per-PC stride (L1D) and stream (L2/L3).
+
+Both are degree 1, as configured in the paper's gem5 setup.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import LINE_SHIFT
+
+
+class StridePrefetcher:
+    """Classic PC-indexed stride prefetcher (L1D, degree 1).
+
+    Each table entry tracks the last address and last stride of one load
+    PC with a 2-bit stable counter; once the stride repeats, the next
+    address is prefetched.
+    """
+
+    def __init__(self, entries: int = 256, degree: int = 1) -> None:
+        self._entries = entries
+        self._degree = degree
+        # pc -> (last_addr, stride, confidence)
+        self._table: dict[int, tuple[int, int, int]] = {}
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int) -> list[int]:
+        """Record an access; returns byte addresses to prefetch."""
+        key = pc & 0xFFFF_FFFF
+        entry = self._table.get(key)
+        prefetches: list[int] = []
+        if entry is None:
+            if len(self._table) >= self._entries:
+                # Cheap random-ish eviction: drop an arbitrary entry.
+                self._table.pop(next(iter(self._table)))
+            self._table[key] = (addr, 0, 0)
+            return prefetches
+        last_addr, stride, confidence = entry
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = max(confidence - 1, 0)
+            stride = new_stride
+        if confidence >= 2 and stride != 0:
+            # Prefetch at line granularity: a small byte stride walks
+            # within the current line most accesses, so the useful target
+            # is the next line along the stream, not addr + stride.
+            line_bytes = 1 << LINE_SHIFT
+            if 0 < stride < line_bytes:
+                step = line_bytes
+            elif -line_bytes < stride < 0:
+                step = -line_bytes
+            else:
+                step = stride
+            for ahead in range(1, self._degree + 1):
+                prefetches.append(addr + step * ahead)
+            self.issued += len(prefetches)
+        self._table[key] = (addr, stride, confidence)
+        return prefetches
+
+
+class StreamPrefetcher:
+    """Next-line stream prefetcher (L2/L3, degree 1).
+
+    Tracks a handful of active streams; a miss adjacent to an active
+    stream extends it and prefetches the next line(s); otherwise a new
+    stream is trained.
+    """
+
+    def __init__(self, streams: int = 16, degree: int = 1) -> None:
+        self._max_streams = streams
+        self._degree = degree
+        # List of (last_line, direction) most-recent first.
+        self._streams: list[tuple[int, int]] = []
+        self.issued = 0
+
+    def observe_miss(self, addr: int) -> list[int]:
+        """Record a miss; returns byte addresses to prefetch."""
+        line = addr >> LINE_SHIFT
+        prefetches: list[int] = []
+        for position, (last_line, direction) in enumerate(self._streams):
+            if line == last_line + direction:
+                self._streams.pop(position)
+                self._streams.insert(0, (line, direction))
+                for ahead in range(1, self._degree + 1):
+                    prefetches.append((line + direction * ahead) << LINE_SHIFT)
+                self.issued += len(prefetches)
+                return prefetches
+            if line == last_line - direction:
+                # Stream reversing direction: retrain.
+                self._streams.pop(position)
+                self._streams.insert(0, (line, -direction))
+                return prefetches
+        self._streams.insert(0, (line, 1))
+        if len(self._streams) > self._max_streams:
+            self._streams.pop()
+        return prefetches

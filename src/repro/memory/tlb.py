@@ -1,0 +1,44 @@
+"""Translation lookaside buffers (Table I: 128-entry ITLB, 64-entry DTLB).
+
+Fully associative with LRU, 4KB pages.  A miss pays a fixed page-walk
+penalty; the walk itself is not simulated (the synthetic address spaces are
+small and flat, so walks would always hit the caches anyway).
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+
+
+class Tlb:
+    """Fully associative TLB with LRU replacement."""
+
+    def __init__(self, entries: int, walk_penalty: int = 20) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self._entries = entries
+        self.walk_penalty = walk_penalty
+        self._pages: list[int] = []  # MRU first
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate *addr*; returns added latency (0 on hit)."""
+        page = addr >> PAGE_SHIFT
+        try:
+            position = self._pages.index(page)
+        except ValueError:
+            self.misses += 1
+            self._pages.insert(0, page)
+            if len(self._pages) > self._entries:
+                self._pages.pop()
+            return self.walk_penalty
+        if position:
+            self._pages.insert(0, self._pages.pop(position))
+        self.hits += 1
+        return 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,707 @@
+"""The cycle-level out-of-order pipeline (Fig. 3 with Table I resources).
+
+Trace-driven timing model: the committed-path instruction stream from the
+functional interpreter is replayed through real structural resources —
+8-wide fetch/rename/commit, 192-entry ROB, 60-entry IQ, 72/48-entry LQ/SQ,
+235+235 physical registers, the Table I port mix, TAGE front end and the
+three-level cache hierarchy.  All speculation (branch direction/target,
+zero, distance/equality, value) uses real predictors and is resolved
+against trace ground truth; mispredictions squash exactly as the paper
+prescribes (commit-time validation, full flush).
+
+Stage order within a cycle is commit → issue → rename → fetch, which
+enforces the usual one-cycle minimum between dispatch and issue and between
+writeback and commit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.backend.fu import IssuePorts
+from repro.backend.iq import IssueQueue
+from repro.backend.lsq import LoadStoreQueues
+from repro.backend.rob import ReorderBuffer
+from repro.backend.store_sets import StoreSets
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.core.rsep import RsepUnit
+from repro.core.sharing import ProducerWindow
+from repro.core.validation import ValidationMode, ValidationQueue
+from repro.core.vp_engine import VpEngine
+from repro.frontend.branch_unit import BranchUnit
+from repro.isa.instruction import DynInst, NO_REG
+from repro.isa.opcodes import FuClass
+from repro.isa.registers import reg_class
+from repro.memory.cache import LINE_SHIFT
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.stats import Stats
+from repro.predictors.zero import ZeroPredictor
+from repro.rename.free_list import FreeList
+from repro.rename.isrb import Isrb
+from repro.rename.map_table import RenameMap
+from repro.rename.move_elim import MoveEliminator
+from repro.rename.zero_idiom import ZeroIdiomEliminator
+from repro.workloads.trace import Trace
+
+_INF = 1 << 60
+
+
+class PipelineError(RuntimeError):
+    """Raised on internal inconsistencies (bugs) or deadlock."""
+
+
+class InflightOp:
+    """Timing and rename state of one in-flight dynamic instruction."""
+
+    __slots__ = (
+        "d", "trace_index", "rename_ready_cycle",
+        "src_pregs", "dest_preg", "old_preg",
+        "allocated", "shared", "eliminated",
+        "zero_pred", "zero_pred_used",
+        "dist_pred", "dist_used", "likely_candidate",
+        "producer", "equality_ok",
+        "vp_pred", "vp_used", "vp_ok",
+        "fetch_outcome", "fetch_cycle",
+        "issued", "issue_cycle", "complete_cycle",
+        "executed", "validation_done_cycle", "retained",
+        "store_dep", "forward_from",
+        "committed", "squashed",
+    )
+
+    def __init__(self, d: DynInst, trace_index: int, fetch_cycle: int,
+                 rename_ready_cycle: int) -> None:
+        self.d = d
+        self.trace_index = trace_index
+        self.fetch_cycle = fetch_cycle
+        self.rename_ready_cycle = rename_ready_cycle
+        self.src_pregs: tuple = ()
+        self.dest_preg = NO_REG
+        self.old_preg = NO_REG
+        self.allocated = False
+        self.shared = False
+        self.eliminated = None
+        self.zero_pred = None
+        self.zero_pred_used = False
+        self.dist_pred = None
+        self.dist_used = False
+        self.likely_candidate = False
+        self.producer = None
+        self.equality_ok = False
+        self.vp_pred = None
+        self.vp_used = False
+        self.vp_ok = False
+        self.fetch_outcome = None
+        self.issued = False
+        self.issue_cycle = None
+        self.complete_cycle = None
+        self.executed = False
+        self.validation_done_cycle = None
+        self.retained = False
+        self.store_dep = None
+        self.forward_from = None
+        self.committed = False
+        self.squashed = False
+
+    @property
+    def validation_required(self) -> bool:
+        return self.dist_used or (
+            self.likely_candidate and self.producer is not None
+        )
+
+
+class Pipeline:
+    """One simulated core running one trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: CoreConfig | None = None,
+        mechanisms: MechanismConfig | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.trace = trace
+        self.config = config or CoreConfig()
+        self.mechanisms = mechanisms or MechanismConfig.baseline()
+        c = self.config
+        m = self.mechanisms
+
+        rng = XorShift64(0xFACE ^ (seed * 0x9E3779B97F4A7C15))
+        self.history = GlobalHistory()
+        self.path = PathHistory()
+        self.branch_unit = BranchUnit(
+            self.history, self.path, rng.fork(0xB4), c.tage
+        )
+        self.hierarchy = MemoryHierarchy(c.memory)
+        self.free_list = FreeList(c.int_pregs, c.fp_pregs)
+        self.zero_preg = self.free_list.zero_preg
+        self.rename_map = RenameMap(self.free_list)
+        isrb_entries = m.rsep.isrb_entries if m.rsep else 24
+        isrb_counter_bits = m.rsep.isrb_counter_bits if m.rsep else 6
+        self.isrb = Isrb(isrb_entries, isrb_counter_bits)
+        self.zero_idiom_elim = ZeroIdiomEliminator(self.zero_preg)
+        self.move_eliminator = MoveEliminator(self.rename_map, self.isrb)
+        self.rsep = (
+            RsepUnit(m.rsep, self.history, self.path, rng.fork(0x27),
+                     m.confidence)
+            if m.rsep
+            else None
+        )
+        self.vp = (
+            VpEngine(m.vp, self.history, self.path, rng.fork(0x99),
+                     m.confidence)
+            if m.vp
+            else None
+        )
+        self.zero_predictor = (
+            ZeroPredictor(rng=rng.fork(0x2E), scale=m.confidence)
+            if m.zero_pred
+            else None
+        )
+        validation_mode = m.rsep.validation if m.rsep else ValidationMode.IDEAL
+        self.validation_queue = ValidationQueue(validation_mode)
+        self.store_sets = StoreSets()
+        self.rob = ReorderBuffer(c.rob_entries)
+        self.iq = IssueQueue(c.iq_entries)
+        self.lsq = LoadStoreQueues(c.lq_entries, c.sq_entries, c.stlf_latency)
+        self.ports = IssuePorts(c.ports)
+        self.producer_window = ProducerWindow(c.rob_entries)
+        self.stats = Stats()
+
+        self._reg_ready: dict[int, int] = {}
+        self._fetch_buffer: deque[InflightOp] = deque()
+        self._cursor = 0
+        self._next_fetch_cycle = 0
+        self._fetch_stalled_by: InflightOp | None = None
+        self._last_fetch_line = -1
+        self.cycle = 0
+        self._total_committed = 0
+        self._last_progress_cycle = 0
+
+    # ==================================================================
+    # Public driver
+    # ==================================================================
+
+    def run(self, instructions: int, warmup: int = 0) -> Stats:
+        """Warm up, then measure a window of *instructions* commits."""
+        while self._total_committed < warmup and not self._finished():
+            self._step()
+        self.stats.reset_window()
+        target = self._total_committed + instructions
+        while self._total_committed < target and not self._finished():
+            self._step()
+        return self.stats
+
+    def _finished(self) -> bool:
+        return (
+            self._cursor >= len(self.trace)
+            and self.rob.empty
+            and not self._fetch_buffer
+        )
+
+    def _step(self) -> None:
+        cycle = self.cycle
+        self._commit(cycle)
+        self._issue(cycle)
+        self._rename(cycle)
+        self._fetch(cycle)
+        self.stats.cycles += 1
+        self.cycle = cycle + 1
+        if cycle - self._last_progress_cycle > self.config.watchdog_cycles:
+            raise PipelineError(
+                f"deadlock: no commit for {self.config.watchdog_cycles} "
+                f"cycles (cycle {cycle}, ROB {len(self.rob)}, "
+                f"IQ {len(self.iq)}, head "
+                f"{self.rob.head().d if not self.rob.empty else None})"
+            )
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _commit(self, cycle: int) -> None:
+        stats = self.stats
+        committed = 0
+        producers_group: list[InflightOp] = []
+        squash = None  # (first_seq, refetch_index, cause)
+
+        while committed < self.config.commit_width and not self.rob.empty:
+            op = self.rob.head()
+            if op.complete_cycle is None or op.complete_cycle >= cycle:
+                break
+            if op.validation_required and (
+                op.validation_done_cycle is None
+                or op.validation_done_cycle >= cycle
+            ):
+                break
+            d = op.d
+
+            # --- commit-time validation failures -----------------------
+            if op.dist_used and not op.equality_ok:
+                # §IV.G: flush once the mispredicted instruction reaches
+                # the ROB head; it re-executes unpredicted.
+                self.rsep.on_mispredict(op.dist_pred)
+                self.rsep.on_commit_used(op, False)
+                stats.rsep_mispredicts += 1
+                stats.squashes_rsep += 1
+                squash = (d.seq, op.trace_index, "rsep")
+                break
+            if op.zero_pred_used and d.result != 0:
+                self.zero_predictor.on_mispredict(op.zero_pred)
+                stats.zero_mispredicts += 1
+                stats.squashes_zero += 1
+                squash = (d.seq, op.trace_index, "zero")
+                break
+
+            # --- commit the instruction --------------------------------
+            self.rob.pop_head()
+            op.committed = True
+            committed += 1
+            stats.committed += 1
+            self._total_committed += 1
+
+            if d.is_branch:
+                stats.branches += 1
+                if op.fetch_outcome is not None:
+                    if op.fetch_outcome.mispredicted:
+                        stats.branch_mispredicts += 1
+                    self.branch_unit.commit_branch(op.fetch_outcome)
+            if d.is_load:
+                stats.loads += 1
+                self.lsq.remove(op)
+            elif d.is_store:
+                stats.stores += 1
+                self.lsq.remove(op)
+                self.store_sets.store_completed(d.pc, op)
+                self.hierarchy.store(d.pc, d.addr, cycle)
+
+            produces = op.dest_preg != NO_REG
+            if produces:
+                self.producer_window.retire_head(op)
+                stats.committed_producers += 1
+                producers_group.append(op)
+                self._dereference(op.old_preg)
+            if d.rsep_eligible():
+                stats.committed_eligible += 1
+
+            # --- coverage classification (Fig. 5) ----------------------
+            if op.eliminated == "zero_idiom":
+                stats.zero_idiom_elim += 1
+            elif op.eliminated == "move":
+                stats.move_elim += 1
+            elif op.zero_pred_used:
+                stats.zero_pred += 1
+                if d.is_load:
+                    stats.zero_pred_load += 1
+            elif op.dist_used:
+                stats.dist_pred += 1
+                if d.is_load:
+                    stats.dist_pred_load += 1
+                self.rsep.on_commit_used(op, True)
+            elif op.vp_used and op.vp_ok:
+                stats.value_pred += 1
+                if d.is_load:
+                    stats.value_pred_load += 1
+
+            # --- predictor training ------------------------------------
+            if op.zero_pred is not None:
+                self.zero_predictor.train(op.zero_pred, d.result == 0)
+            if op.vp_pred is not None:
+                if op.vp_used:
+                    self.vp.on_commit_used(op.vp_ok)
+                    if not op.vp_ok:
+                        self.vp.on_mispredict(op.vp_pred)
+                self.vp.train(op.vp_pred, d.result)
+
+            if op.vp_used and not op.vp_ok:
+                # [7]: the instruction commits its correct result, then the
+                # pipeline is flushed behind it.
+                stats.vp_mispredicts += 1
+                stats.squashes_vp += 1
+                squash = (d.seq + 1, op.trace_index + 1, "vp")
+                break
+
+        if self.rsep is not None and producers_group:
+            self.rsep.observe_commit_group(producers_group)
+        if committed:
+            self._last_progress_cycle = cycle
+        if squash is not None:
+            self._squash_from_seq(squash[0], squash[1], cycle)
+            if squash[2] == "memory_order":  # pragma: no cover - not here
+                stats.squashes_memory_order += 1
+
+    def _dereference(self, old_preg: int) -> None:
+        """A committed instruction's previous mapping dies."""
+        if old_preg == NO_REG or old_preg == self.zero_preg:
+            return
+        status = self.isrb.dereference(old_preg)
+        if status in ("untracked", "freed"):
+            self.free_list.release(old_preg)
+
+    # ==================================================================
+    # Issue
+    # ==================================================================
+
+    def _issue(self, cycle: int) -> None:
+        ports = self.ports
+        ports.new_cycle(cycle)
+
+        validated = self.validation_queue.issue_cycle(cycle, ports)
+        if validated:
+            self.iq.remove_issued(validated)
+
+        issue_width = self.config.ports.issue_width
+        issued: list[InflightOp] = []
+        violation_load = None
+        violating_store = None
+        for op in self.iq:
+            if ports.issued_this_cycle >= issue_width:
+                break
+            if op.issued:
+                continue
+            if not self._op_ready(op, cycle):
+                continue
+            if not ports.try_issue(op.d.fu, cycle):
+                continue
+            self._do_issue(op, cycle)
+            issued.append(op)
+            if op.d.is_store:
+                violators = self.lsq.find_violations(op)
+                if violators:
+                    violation_load = violators[0]
+                    violating_store = op
+                    break
+
+        self.iq.remove_issued([op for op in issued if not op.retained])
+
+        if violation_load is not None:
+            self.store_sets.train_violation(
+                violation_load.d.pc, violating_store.d.pc
+            )
+            self.stats.squashes_memory_order += 1
+            self._squash_from_seq(
+                violation_load.d.seq, violation_load.trace_index, cycle
+            )
+
+    def _op_ready(self, op: InflightOp, cycle: int) -> bool:
+        reg_ready = self._reg_ready
+        for preg in op.src_pregs:
+            if reg_ready.get(preg, 0) > cycle:
+                return False
+        if (op.dist_used or op.likely_candidate) and op.producer is not None:
+            # §IV.F: the predicted instruction is made dependent on the
+            # producer so validation can catch the value on the bypass.
+            producer = op.producer
+            if producer.complete_cycle is None or (
+                producer.complete_cycle > cycle
+            ):
+                return False
+        if op.d.is_load:
+            dep = op.store_dep
+            if dep is not None and not dep.squashed and not dep.executed:
+                return False
+            blocking = self.lsq.blocking_store(op)
+            if blocking is not None:
+                return False
+            forward = self.lsq.forwarding_store(op, cycle)
+            if forward is not None and forward.complete_cycle > cycle:
+                return False
+            op.forward_from = forward
+        return True
+
+    def _do_issue(self, op: InflightOp, cycle: int) -> None:
+        op.issued = True
+        op.issue_cycle = cycle
+        d = op.d
+        if d.is_load:
+            if op.forward_from is not None:
+                latency = self.config.stlf_latency
+                self.stats.load_forwards += 1
+            else:
+                latency = self.hierarchy.load(d.pc, d.addr, cycle)
+            op.complete_cycle = cycle + latency
+            op.executed = True
+        elif d.is_store:
+            op.complete_cycle = cycle + 1
+            op.executed = True
+        else:
+            op.complete_cycle = cycle + d.latency
+        if op.allocated and not op.vp_used:
+            self._reg_ready[op.dest_preg] = op.complete_cycle
+        if op.validation_required:
+            self.validation_queue.request(op)
+            if self.validation_queue.mode is not ValidationMode.IDEAL:
+                # §IV.F.b: predicted instructions retain their scheduler
+                # entry until the validation µ-op has issued.
+                op.retained = True
+
+    # ==================================================================
+    # Rename / dispatch
+    # ==================================================================
+
+    def _rename(self, cycle: int) -> None:
+        c = self.config
+        m = self.mechanisms
+        stats = self.stats
+        fetch_buffer = self._fetch_buffer
+        renamed = 0
+
+        while renamed < c.rename_width and fetch_buffer:
+            op = fetch_buffer[0]
+            if op.rename_ready_cycle > cycle:
+                break
+            d = op.d
+            produces = d.dest != NO_REG
+
+            # ---- capacity checks (stall in order) ---------------------
+            if self.rob.full:
+                stats.stall_rob += 1
+                break
+            if d.fu != FuClass.NONE and self.iq.full:
+                stats.stall_iq += 1
+                break
+            if d.is_load and self.lsq.lq_full:
+                stats.stall_lsq += 1
+                break
+            if d.is_store and self.lsq.sq_full:
+                stats.stall_lsq += 1
+                break
+            if produces:
+                dest_class = reg_class(d.dest)
+                if (
+                    not d.zero_idiom
+                    and self.free_list.available(dest_class) == 0
+                ):
+                    stats.stall_regs += 1
+                    break
+
+            # ---- source operands (old map) ----------------------------
+            sources = []
+            if d.src1 != NO_REG:
+                sources.append(self.rename_map.lookup(d.src1))
+            if d.src2 != NO_REG:
+                sources.append(self.rename_map.lookup(d.src2))
+            op.src_pregs = tuple(sources)
+
+            needs_iq = d.fu != FuClass.NONE
+
+            # ---- destination handling & mechanisms --------------------
+            if produces:
+                dest_preg = NO_REG
+                eligible = d.rsep_eligible()
+
+                if c.zero_idiom_elimination and d.zero_idiom:
+                    dest_preg = self.zero_preg
+                    op.eliminated = "zero_idiom"
+                    self.zero_idiom_elim.eliminated += 1
+                    needs_iq = False
+                elif m.move_elim and d.move:
+                    shared_preg = self.move_eliminator.try_eliminate(d)
+                    if shared_preg is not None:
+                        dest_preg = shared_preg
+                        op.eliminated = "move"
+                        op.shared = True
+                        needs_iq = False
+
+                if self.rsep is not None and eligible and op.eliminated is None:
+                    prediction = self.rsep.lookup(d.pc)
+                    op.dist_pred = prediction
+                    if prediction.use_pred and dest_preg == NO_REG:
+                        dest_preg = self._try_share(op, prediction, dest_class)
+                    elif (
+                        prediction.likely_candidate
+                        and self.rsep.config.sampling
+                    ):
+                        producer = self.producer_window.producer_at(
+                            prediction.distance
+                        )
+                        if producer is not None:
+                            op.likely_candidate = True
+                            op.producer = producer
+
+                if self.zero_predictor is not None and eligible:
+                    zero_prediction = self.zero_predictor.predict(d.pc)
+                    op.zero_pred = zero_prediction
+                    if zero_prediction.use_pred and dest_preg == NO_REG:
+                        dest_preg = self.zero_preg
+                        op.zero_pred_used = True  # executes to validate
+
+                if self.vp is not None and eligible:
+                    value_prediction = self.vp.lookup(d.pc)
+                    op.vp_pred = value_prediction
+                    if value_prediction.predicted() and dest_preg == NO_REG:
+                        op.vp_used = True
+                        op.vp_ok = value_prediction.value == d.result
+                        self.vp.stats.used += 1
+
+                if dest_preg == NO_REG:
+                    dest_preg = self.free_list.allocate(dest_class)
+                    op.allocated = True
+                    self._reg_ready[dest_preg] = (
+                        cycle if op.vp_used else _INF
+                    )
+                op.dest_preg = dest_preg
+                op.old_preg = self.rename_map.rename_dest(d.dest, dest_preg)
+
+            if not needs_iq:
+                op.complete_cycle = cycle
+                op.executed = True
+
+            # ---- structures -------------------------------------------
+            self.rob.push(op)
+            if needs_iq:
+                self.iq.insert(op)
+            if d.is_load:
+                self.lsq.add_load(op)
+                dep = self.store_sets.load_dependency(d.pc)
+                if dep is not None and not dep.committed and not dep.squashed:
+                    op.store_dep = dep
+            elif d.is_store:
+                self.lsq.add_store(op)
+                self.store_sets.store_dispatched(d.pc, op)
+            if produces:
+                self.producer_window.push(op)
+
+            fetch_buffer.popleft()
+            renamed += 1
+
+    def _try_share(self, op: InflightOp, prediction, dest_class) -> int:
+        """Attempt RSEP register sharing; returns the shared preg or NO_REG."""
+        rsep = self.rsep
+        producer = self.producer_window.producer_at(prediction.distance)
+        if producer is None:
+            rsep.stats.out_of_window += 1
+            return NO_REG
+        if reg_class(producer.d.dest) != dest_class:
+            rsep.stats.class_mismatch += 1
+            return NO_REG
+        producer_preg = producer.dest_preg
+        if producer_preg == self.zero_preg:
+            rsep.stats.zero_reg_shares += 1
+        elif not self.isrb.share(producer_preg):
+            rsep.stats.isrb_rejected += 1
+            return NO_REG
+        else:
+            op.shared = True
+        op.dist_used = True
+        op.producer = producer
+        op.equality_ok = op.d.result == producer.d.result
+        rsep.stats.used += 1
+        return producer_preg
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch(self, cycle: int) -> None:
+        c = self.config
+        if self._fetch_stalled_by is not None:
+            blocked_on = self._fetch_stalled_by
+            if blocked_on.complete_cycle is None:
+                return  # mispredicted branch not resolved yet
+            self._next_fetch_cycle = max(
+                self._next_fetch_cycle,
+                blocked_on.complete_cycle + c.redirect_delay,
+            )
+            self._fetch_stalled_by = None
+        if cycle < self._next_fetch_cycle:
+            return
+
+        trace = self.trace
+        fetch_buffer = self._fetch_buffer
+        fetched = 0
+        taken_seen = 0
+        while (
+            fetched < c.fetch_width
+            and len(fetch_buffer) < c.fetch_buffer_size
+            and self._cursor < len(trace)
+        ):
+            d = trace[self._cursor]
+            line = d.pc >> LINE_SHIFT
+            if line != self._last_fetch_line:
+                bubble = self.hierarchy.fetch(d.pc, cycle)
+                if bubble > 0:
+                    self._next_fetch_cycle = cycle + bubble
+                    break
+                self._last_fetch_line = line
+            op = InflightOp(
+                d, self._cursor, cycle, cycle + c.frontend_depth
+            )
+            if d.is_branch:
+                outcome = self.branch_unit.fetch_branch(d)
+                op.fetch_outcome = outcome
+                fetch_buffer.append(op)
+                self._cursor += 1
+                fetched += 1
+                if outcome.mispredicted:
+                    self._fetch_stalled_by = op
+                    break
+                if outcome.decode_redirect:
+                    self._next_fetch_cycle = (
+                        cycle + c.decode_redirect_bubble
+                    )
+                    break
+                if d.taken:
+                    taken_seen += 1
+                    self._last_fetch_line = -1  # fetch redirects to target
+                    if taken_seen >= 2:
+                        break  # 8-wide fetch over at most 1 taken branch
+                continue
+            fetch_buffer.append(op)
+            self._cursor += 1
+            fetched += 1
+
+    # ==================================================================
+    # Squash
+    # ==================================================================
+
+    def _squash_from_seq(
+        self, first_seq: int, refetch_index: int, cycle: int
+    ) -> None:
+        """Flush every in-flight instruction with seq >= *first_seq*."""
+        restore_outcome = None
+
+        while not self.rob.empty and self.rob.tail().d.seq >= first_seq:
+            op = self.rob.pop_tail()
+            op.squashed = True
+            self.stats.squashed_ops += 1
+            if op.fetch_outcome is not None:
+                restore_outcome = op.fetch_outcome
+            if op.vp_pred is not None:
+                self.vp.release(op.vp_pred)
+            if op.dest_preg != NO_REG:
+                installed = self.rename_map.undo_rename(
+                    op.d.dest, op.old_preg
+                )
+                if installed != op.dest_preg:
+                    raise PipelineError(
+                        f"rename undo mismatch at seq {op.d.seq}"
+                    )
+                if op.allocated:
+                    self.free_list.release(op.dest_preg)
+                elif op.shared:
+                    if self.isrb.unshare(op.dest_preg):
+                        self.free_list.release(op.dest_preg)
+                self.producer_window.squash_tail(op)
+
+        if restore_outcome is None:
+            for op in self._fetch_buffer:
+                if op.fetch_outcome is not None:
+                    restore_outcome = op.fetch_outcome
+                    break
+        if restore_outcome is not None:
+            self.branch_unit.squash_to(restore_outcome)
+
+        for op in self._fetch_buffer:
+            op.squashed = True
+        self._fetch_buffer.clear()
+        self.iq.squash(lambda o: o.d.seq >= first_seq)
+        self.lsq.squash(first_seq)
+        self.validation_queue.squash(first_seq)
+        self._fetch_stalled_by = None
+        self._cursor = refetch_index
+        self._last_fetch_line = -1
+        self._next_fetch_cycle = max(
+            self._next_fetch_cycle, cycle + self.config.redirect_delay
+        )

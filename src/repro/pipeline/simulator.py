@@ -1,0 +1,96 @@
+"""High-level simulation driver: benchmark in, statistics out.
+
+Mirrors the paper's methodology (§V): per benchmark, several checkpoints
+(seeds), warm-up then measurement, IPC reported per seed and aggregated
+with the harmonic mean.  Window sizes default to laptop-scale values and
+honour the ``REPRO_WARMUP`` / ``REPRO_MEASURE`` / ``REPRO_SCALE``
+environment variables (see DESIGN.md §2 on window scaling).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.core import Pipeline
+from repro.pipeline.stats import Stats
+from repro.workloads.spec2006 import build_benchmark
+from repro.workloads.trace import Trace, execute
+
+#: In-flight margin so traces never run dry mid-window.
+_TRACE_SLACK = 4096
+
+
+def default_windows() -> tuple[int, int]:
+    """(warmup, measure) instruction counts after env scaling."""
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    warmup = int(os.environ.get("REPRO_WARMUP", "8000"))
+    measure = int(os.environ.get("REPRO_MEASURE", "20000"))
+    return max(256, int(warmup * scale)), max(512, int(measure * scale))
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (benchmark, mechanism, seed) run."""
+
+    benchmark: str
+    mechanism: str
+    seed: int
+    stats: Stats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Simulator:
+    """Caches traces and runs pipelines over them."""
+
+    def __init__(self, core_config: CoreConfig | None = None) -> None:
+        self.core_config = core_config or CoreConfig()
+        self._trace_cache: dict[tuple[str, int, int], Trace] = {}
+
+    def trace_for(self, benchmark: str, seed: int,
+                  instructions: int) -> Trace:
+        """Build (and cache) the functional trace for one checkpoint."""
+        key = (benchmark, seed, instructions)
+        cached = self._trace_cache.get(key)
+        if cached is None:
+            built = build_benchmark(benchmark, seed)
+            cached = execute(built.program, instructions, built.machine())
+            self._trace_cache[key] = cached
+        return cached
+
+    def run_benchmark(
+        self,
+        benchmark: str,
+        mechanisms: MechanismConfig,
+        warmup: int | None = None,
+        measure: int | None = None,
+        seed: int = 1,
+    ) -> SimulationResult:
+        """Run one benchmark/mechanism/seed combination."""
+        if warmup is None or measure is None:
+            default_warm, default_measure = default_windows()
+            warmup = default_warm if warmup is None else warmup
+            measure = default_measure if measure is None else measure
+        trace = self.trace_for(benchmark, seed, warmup + measure + _TRACE_SLACK)
+        pipeline = Pipeline(trace, self.core_config, mechanisms, seed)
+        stats = pipeline.run(measure, warmup)
+        return SimulationResult(benchmark, mechanisms.name, seed, stats)
+
+    def run_trace(
+        self,
+        trace: Trace,
+        mechanisms: MechanismConfig,
+        warmup: int = 0,
+        measure: int | None = None,
+        seed: int = 1,
+    ) -> SimulationResult:
+        """Run an explicit trace (used by tests and examples)."""
+        if measure is None:
+            measure = len(trace)
+        pipeline = Pipeline(trace, self.core_config, mechanisms, seed)
+        stats = pipeline.run(measure, warmup)
+        return SimulationResult(trace.name, mechanisms.name, seed, stats)

@@ -1,0 +1,54 @@
+"""Prediction structures: distance, value, zero, and shared TAGE machinery."""
+
+from repro.predictors.confidence import (
+    PAPER,
+    PAPER_SATURATION,
+    SCALED,
+    ConfidenceScale,
+)
+from repro.predictors.distance import (
+    NO_DISTANCE,
+    DistancePrediction,
+    DistancePredictor,
+    DistancePredictorConfig,
+)
+from repro.predictors.dvtage import (
+    DVtageConfig,
+    DVtagePredictor,
+    ValuePrediction,
+)
+from repro.predictors.gshare_distance import (
+    GshareDistanceConfig,
+    GshareDistancePredictor,
+)
+from repro.predictors.tagged_table import (
+    ComponentGeometry,
+    GeometricIndexer,
+    Lookup,
+    UsefulnessMonitor,
+    geometric_history_lengths,
+)
+from repro.predictors.zero import ZeroPredictor, ZeroPrediction
+
+__all__ = [
+    "PAPER",
+    "PAPER_SATURATION",
+    "SCALED",
+    "ComponentGeometry",
+    "ConfidenceScale",
+    "DVtageConfig",
+    "DVtagePredictor",
+    "DistancePrediction",
+    "DistancePredictor",
+    "DistancePredictorConfig",
+    "GeometricIndexer",
+    "GshareDistanceConfig",
+    "GshareDistancePredictor",
+    "Lookup",
+    "NO_DISTANCE",
+    "UsefulnessMonitor",
+    "ValuePrediction",
+    "ZeroPredictor",
+    "ZeroPrediction",
+    "geometric_history_lengths",
+]

@@ -1,0 +1,314 @@
+"""TAGE-like Instruction Distance (IDist) predictor (paper §IV.C).
+
+Predicts, for a static instruction, how many result-producing instructions
+back in commit order the most recent producer of the *same result* sits.
+Organisation follows the paper exactly:
+
+* a PC-indexed untagged base table (distance + confidence);
+* six partially tagged components indexed by PC ⊕ global branch history
+  ⊕ path history, each entry holding a distance, a 3-bit probabilistic
+  confidence counter, a useful bit and a partial tag;
+* prediction only when confidence is saturated (``use_pred``), plus the
+  lower ``start_train`` threshold that marks *likely candidates* for the
+  sampling scheme of §IV.B.3.
+
+The two paper configurations are provided as presets:
+``ideal()`` — 16K-entry base + 6×1K tagged, tags 13..18 bits = 42.6KB;
+``realistic()`` — 2K-entry base + 6×512 tagged, tags 5..10 bits = 10.1KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport
+from repro.predictors.confidence import ConfidenceScale, SCALED
+from repro.predictors.tagged_table import (
+    ComponentGeometry,
+    GeometricIndexer,
+    Lookup,
+    UsefulnessMonitor,
+    geometric_history_lengths,
+)
+
+#: Sentinel stored in distance fields holding no prediction yet.
+NO_DISTANCE = 0
+
+
+@dataclass(frozen=True)
+class DistancePredictorConfig:
+    """Geometry and thresholds of the distance predictor."""
+
+    base_log2_entries: int = 14
+    tagged_components: int = 6
+    tagged_log2_entries: int = 10
+    min_tag_bits: int = 13
+    max_tag_bits: int = 18
+    distance_bits: int = 8
+    min_history: int = 2
+    max_history: int = 64
+    use_pred_threshold: int = 255    # paper scale (0..255)
+    start_train_threshold: int = 63  # paper scale; Fig. 6 varies 15/63
+    confidence_bits: int = 3
+
+    @classmethod
+    def ideal(cls) -> "DistancePredictorConfig":
+        """The 42.6KB configuration of §IV.C."""
+        return cls()
+
+    @classmethod
+    def realistic(cls) -> "DistancePredictorConfig":
+        """The 10.1KB configuration of §VI.B."""
+        return cls(
+            base_log2_entries=11,
+            tagged_log2_entries=9,
+            min_tag_bits=5,
+            max_tag_bits=10,
+        )
+
+    @property
+    def max_distance(self) -> int:
+        return (1 << self.distance_bits) - 1
+
+    def geometries(self) -> list[ComponentGeometry]:
+        lengths = geometric_history_lengths(
+            self.min_history, self.max_history, self.tagged_components
+        )
+        tags = [
+            self.min_tag_bits
+            + round(
+                (self.max_tag_bits - self.min_tag_bits)
+                * index
+                / max(1, self.tagged_components - 1)
+            )
+            for index in range(self.tagged_components)
+        ]
+        return [
+            ComponentGeometry(self.tagged_log2_entries, tag, length)
+            for tag, length in zip(tags, lengths)
+        ]
+
+
+@dataclass
+class DistancePrediction:
+    """One lookup outcome, retained for commit-time training."""
+
+    pc: int
+    distance: int
+    use_pred: bool          # confident enough to speculate
+    likely_candidate: bool  # confident enough to train via validation
+    provider: int           # component index, -1 = base
+    lookup: Lookup
+    base_index: int
+    confidence_level: int = 0
+
+    def predicted(self) -> bool:
+        return self.use_pred and self.distance != NO_DISTANCE
+
+
+class DistancePredictor:
+    """The TAGE-like IDist predictor."""
+
+    def __init__(
+        self,
+        config: DistancePredictorConfig,
+        history: GlobalHistory,
+        path: PathHistory,
+        rng: XorShift64,
+        scale: ConfidenceScale = SCALED,
+    ) -> None:
+        self.config = config
+        self.scale = scale
+        self._rng = rng
+        self._geometries = config.geometries()
+        self._indexer = GeometricIndexer(self._geometries, history, path)
+        base_entries = 1 << config.base_log2_entries
+        self._base_mask = base_entries - 1
+        self._base_distance = [NO_DISTANCE] * base_entries
+        self._base_conf = [0] * base_entries
+        self._tags = [[-1] * g.entries for g in self._geometries]
+        self._distances = [
+            [NO_DISTANCE] * g.entries for g in self._geometries
+        ]
+        self._confs = [[0] * g.entries for g in self._geometries]
+        self._useful = [[0] * g.entries for g in self._geometries]
+        self._monitor = UsefulnessMonitor()
+        self._use_level = scale.level_for_paper_threshold(
+            config.use_pred_threshold
+        )
+        self._train_level = scale.level_for_paper_threshold(
+            config.start_train_threshold
+        )
+        # Statistics.
+        self.lookups = 0
+        self.confident_predictions = 0
+
+    # ------------------------------------------------------------------
+
+    def predict(self, pc: int) -> DistancePrediction:
+        """Look up the predicted IDist for the instruction at *pc*."""
+        self.lookups += 1
+        lookup = self._indexer.lookup(pc)
+        base_index = (pc >> 2) & self._base_mask
+
+        provider = -1
+        for component in range(len(self._geometries) - 1, -1, -1):
+            if self._tags[component][lookup.indices[component]] == lookup.tags[
+                component
+            ]:
+                provider = component
+                break
+
+        if provider >= 0:
+            index = lookup.indices[provider]
+            distance = self._distances[provider][index]
+            confidence = self._confs[provider][index]
+        else:
+            distance = self._base_distance[base_index]
+            confidence = self._base_conf[base_index]
+
+        use_pred = confidence >= self._use_level and distance != NO_DISTANCE
+        likely = confidence >= self._train_level and distance != NO_DISTANCE
+        if use_pred:
+            self.confident_predictions += 1
+        return DistancePrediction(
+            pc=pc,
+            distance=distance,
+            use_pred=use_pred,
+            likely_candidate=likely,
+            provider=provider,
+            lookup=lookup,
+            base_index=base_index,
+            confidence_level=confidence,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _entry(self, prediction: DistancePrediction) -> tuple[list, list, int]:
+        """(distances, confs, index) for the providing entry."""
+        if prediction.provider >= 0:
+            index = prediction.lookup.indices[prediction.provider]
+            return (
+                self._distances[prediction.provider],
+                self._confs[prediction.provider],
+                index,
+            )
+        return self._base_distance, self._base_conf, prediction.base_index
+
+    def _bump_confidence(self, confs: list[int], index: int) -> None:
+        level = confs[index]
+        if level < self.scale.levels and self._rng.chance(
+            self.scale.probabilities[level]
+        ):
+            confs[index] = level + 1
+
+    def train_from_pairing(
+        self, prediction: DistancePrediction, observed_distance: int | None
+    ) -> None:
+        """Commit-time training with a distance computed by the FIFO/DDT.
+
+        ``observed_distance`` is None when no matching older hash was found
+        (or the distance exceeded the representable range).
+        """
+        if observed_distance is not None and not (
+            0 < observed_distance <= self.config.max_distance
+        ):
+            observed_distance = None
+
+        distances, confs, index = self._entry(prediction)
+        if observed_distance is None:
+            # Nothing to learn from: leave the entry alone (the paper keeps
+            # entries warm; mispredictions are what reset confidence).
+            return
+        if distances[index] == observed_distance:
+            self._bump_confidence(confs, index)
+            if prediction.provider >= 0 and prediction.use_pred:
+                self._useful[prediction.provider][index] = 1
+        else:
+            if confs[index] == 0:
+                distances[index] = observed_distance
+            else:
+                confs[index] = 0
+            self._maybe_allocate(prediction, observed_distance)
+
+    def train_from_validation(
+        self, prediction: DistancePrediction, was_equal: bool
+    ) -> None:
+        """Training via the validation path (§IV.B.3, likely candidates).
+
+        The candidate compared its actual result with the register it would
+        have shared: a 64-bit equality, no FIFO access needed.
+        """
+        distances, confs, index = self._entry(prediction)
+        if distances[index] != prediction.distance:
+            # Entry was reclaimed or retrained since prediction time.
+            return
+        if was_equal:
+            self._bump_confidence(confs, index)
+        else:
+            confs[index] = 0
+
+    def on_mispredict(self, prediction: DistancePrediction) -> None:
+        """A confident prediction failed validation: collapse confidence."""
+        distances, confs, index = self._entry(prediction)
+        confs[index] = 0
+        if prediction.provider >= 0:
+            self._useful[prediction.provider][index] = 0
+
+    def _maybe_allocate(
+        self, prediction: DistancePrediction, observed_distance: int
+    ) -> None:
+        """Allocate the observed distance in a longer-history component."""
+        start = prediction.provider + 1
+        if start >= len(self._geometries):
+            return
+        candidates = [
+            component
+            for component in range(start, len(self._geometries))
+            if self._useful[component][prediction.lookup.indices[component]]
+            == 0
+        ]
+        if not candidates:
+            for component in range(start, len(self._geometries)):
+                index = prediction.lookup.indices[component]
+                self._useful[component][index] = 0
+            if self._monitor.on_allocation_failure():
+                pass  # useful bits are single-bit: cleared above already
+            return
+        if len(candidates) > 1 and not self._rng.chance(2 / 3):
+            chosen = self._rng.choice(candidates[1:])
+        else:
+            chosen = candidates[0]
+        index = prediction.lookup.indices[chosen]
+        self._tags[chosen][index] = prediction.lookup.tags[chosen]
+        self._distances[chosen][index] = observed_distance
+        self._confs[chosen][index] = 0
+        self._useful[chosen][index] = 0
+
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> StorageReport:
+        """Itemised storage; reproduces the 42.6KB / 10.1KB numbers."""
+        config = self.config
+        report = StorageReport("distance predictor")
+        report.add_entries(
+            "base (distance + confidence)",
+            1 << config.base_log2_entries,
+            config.distance_bits + config.confidence_bits,
+        )
+        for number, geometry in enumerate(self._geometries, start=1):
+            bits = (
+                config.distance_bits
+                + config.confidence_bits
+                + 1  # useful bit
+                + geometry.tag_bits
+            )
+            report.add_entries(
+                f"tagged component {number} "
+                f"(tag {geometry.tag_bits}, hist {geometry.history_bits})",
+                geometry.entries,
+                bits,
+            )
+        return report

@@ -1,0 +1,185 @@
+"""gshare-like distance predictor (Sha et al. [10], §II.C baseline).
+
+Two tables: a direct-mapped PC-indexed table, and a table indexed by the
+PC hashed with global branch history.  The history-indexed table provides
+the prediction when confident, otherwise the PC-indexed table does.  Perais
+& Seznec showed the TAGE-like predictor outperforms this scheme ([11]);
+the ablation bench reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import fold_bits
+from repro.common.history import GlobalHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport
+from repro.predictors.confidence import ConfidenceScale, SCALED
+from repro.predictors.distance import NO_DISTANCE, DistancePrediction
+from repro.predictors.tagged_table import Lookup
+
+
+@dataclass(frozen=True)
+class GshareDistanceConfig:
+    """Geometry of the two-table gshare-like distance predictor."""
+
+    log2_entries: int = 12
+    history_bits: int = 12
+    distance_bits: int = 8
+    use_pred_threshold: int = 255
+    start_train_threshold: int = 63
+
+    @property
+    def max_distance(self) -> int:
+        return (1 << self.distance_bits) - 1
+
+
+class GshareDistancePredictor:
+    """Drop-in alternative to :class:`DistancePredictor`.
+
+    Emits the same :class:`DistancePrediction` records (``provider`` 0 means
+    the history-hashed table, -1 the PC-indexed table) so the RSEP unit can
+    drive either predictor.
+    """
+
+    def __init__(
+        self,
+        config: GshareDistanceConfig,
+        history: GlobalHistory,
+        rng: XorShift64,
+        scale: ConfidenceScale = SCALED,
+    ) -> None:
+        self.config = config
+        self.scale = scale
+        self._rng = rng
+        self._history = history
+        entries = 1 << config.log2_entries
+        self._mask = entries - 1
+        self._pc_distance = [NO_DISTANCE] * entries
+        self._pc_conf = [0] * entries
+        self._gh_distance = [NO_DISTANCE] * entries
+        self._gh_conf = [0] * entries
+        self._use_level = scale.level_for_paper_threshold(
+            config.use_pred_threshold
+        )
+        self._train_level = scale.level_for_paper_threshold(
+            config.start_train_threshold
+        )
+        self.lookups = 0
+        self.confident_predictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _indices(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        pc_index = word & self._mask
+        history = self._history.raw(self.config.history_bits)
+        gh_index = (
+            word ^ fold_bits(history, self.config.history_bits,
+                             self.config.log2_entries)
+        ) & self._mask
+        return pc_index, gh_index
+
+    def predict(self, pc: int) -> DistancePrediction:
+        self.lookups += 1
+        pc_index, gh_index = self._indices(pc)
+        # Prefer the history-indexed table when it is confident.
+        if (
+            self._gh_conf[gh_index] >= self._use_level
+            and self._gh_distance[gh_index] != NO_DISTANCE
+        ):
+            distance = self._gh_distance[gh_index]
+            confidence = self._gh_conf[gh_index]
+            provider = 0
+        else:
+            distance = self._pc_distance[pc_index]
+            confidence = self._pc_conf[pc_index]
+            provider = -1
+        use_pred = confidence >= self._use_level and distance != NO_DISTANCE
+        likely = confidence >= self._train_level and distance != NO_DISTANCE
+        if use_pred:
+            self.confident_predictions += 1
+        return DistancePrediction(
+            pc=pc,
+            distance=distance,
+            use_pred=use_pred,
+            likely_candidate=likely,
+            provider=provider,
+            lookup=Lookup(pc, [gh_index], [0]),
+            base_index=pc_index,
+            confidence_level=confidence,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _bump(self, confs: list[int], index: int) -> None:
+        level = confs[index]
+        if level < self.scale.levels and self._rng.chance(
+            self.scale.probabilities[level]
+        ):
+            confs[index] = level + 1
+
+    def _train_table(
+        self,
+        distances: list[int],
+        confs: list[int],
+        index: int,
+        observed: int,
+    ) -> None:
+        if distances[index] == observed:
+            self._bump(confs, index)
+        elif confs[index] == 0:
+            distances[index] = observed
+        else:
+            confs[index] = 0
+
+    def train_from_pairing(
+        self, prediction: DistancePrediction, observed_distance: int | None
+    ) -> None:
+        """Commit-time training; both tables train in parallel ([10])."""
+        if observed_distance is None or not (
+            0 < observed_distance <= self.config.max_distance
+        ):
+            return
+        pc_index = prediction.base_index
+        gh_index = prediction.lookup.indices[0]
+        self._train_table(
+            self._pc_distance, self._pc_conf, pc_index, observed_distance
+        )
+        self._train_table(
+            self._gh_distance, self._gh_conf, gh_index, observed_distance
+        )
+
+    def train_from_validation(
+        self, prediction: DistancePrediction, was_equal: bool
+    ) -> None:
+        pc_index = prediction.base_index
+        gh_index = prediction.lookup.indices[0]
+        if was_equal:
+            if self._pc_distance[pc_index] == prediction.distance:
+                self._bump(self._pc_conf, pc_index)
+            if self._gh_distance[gh_index] == prediction.distance:
+                self._bump(self._gh_conf, gh_index)
+        else:
+            if prediction.provider == 0:
+                self._gh_conf[gh_index] = 0
+            else:
+                self._pc_conf[pc_index] = 0
+
+    def on_mispredict(self, prediction: DistancePrediction) -> None:
+        # Both tables trained toward this distance in parallel; a failed
+        # validation must silence both or the sibling table immediately
+        # re-predicts the same wrong distance.
+        self._gh_conf[prediction.lookup.indices[0]] = 0
+        self._pc_conf[prediction.base_index] = 0
+
+    def storage_report(self) -> StorageReport:
+        config = self.config
+        report = StorageReport("gshare distance predictor")
+        bits = config.distance_bits + 3
+        report.add_entries("PC-indexed table", 1 << config.log2_entries, bits)
+        report.add_entries(
+            "history-indexed table", 1 << config.log2_entries, bits
+        )
+        return report

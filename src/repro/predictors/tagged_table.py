@@ -1,0 +1,139 @@
+"""Shared TAGE machinery: geometric-history indexing of tagged tables.
+
+Every TAGE-style structure in the paper — the branch predictor (Table I),
+the distance predictor (§IV.C) and D-VTAGE (§II.A) — uses the same skeleton:
+a direct-mapped base table backed by several partially tagged components
+indexed with hashes of the PC and geometrically growing slices of global
+branch (and path) history.  This module factors that skeleton out; each
+predictor supplies its own payload and update policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitops import fold_bits
+from repro.common.history import GlobalHistory, PathHistory
+
+
+@dataclass(frozen=True)
+class ComponentGeometry:
+    """Geometry of one tagged component."""
+
+    log2_entries: int
+    tag_bits: int
+    history_bits: int
+
+    @property
+    def entries(self) -> int:
+        return 1 << self.log2_entries
+
+
+def geometric_history_lengths(
+    shortest: int, longest: int, components: int
+) -> list[int]:
+    """The geometric series of history lengths used by TAGE ([31])."""
+    if components == 1:
+        return [shortest]
+    ratio = (longest / shortest) ** (1.0 / (components - 1))
+    lengths = []
+    for index in range(components):
+        length = int(round(shortest * ratio**index))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths
+
+
+@dataclass
+class Lookup:
+    """Result of indexing all components for one PC.
+
+    Stored by the pipeline alongside the in-flight instruction so commit can
+    update exactly the entries that produced the prediction, even if global
+    history has moved on since (real TAGE checkpoints the same data).
+    """
+
+    pc: int
+    indices: list[int]
+    tags: list[int]
+
+
+class GeometricIndexer:
+    """Computes per-component (index, tag) pairs for a PC.
+
+    Maintains incrementally folded views of global branch history and mixes
+    in a few bits of path history, following [31].
+    """
+
+    def __init__(
+        self,
+        geometries: list[ComponentGeometry],
+        history: GlobalHistory,
+        path: PathHistory,
+        path_bits: int = 12,
+    ) -> None:
+        self.geometries = list(geometries)
+        self.history = history
+        self.path = path
+        self._path_bits = path_bits
+        for geometry in self.geometries:
+            history.register_fold(geometry.history_bits, geometry.log2_entries)
+            history.register_fold(geometry.history_bits, geometry.tag_bits)
+            if geometry.tag_bits > 1:
+                history.register_fold(geometry.history_bits, geometry.tag_bits - 1)
+
+    def lookup(self, pc: int) -> Lookup:
+        """Index every component for *pc* under current history."""
+        word = pc >> 2
+        indices: list[int] = []
+        tags: list[int] = []
+        path_raw = self.path.raw(self._path_bits)
+        for component_number, geometry in enumerate(self.geometries, start=1):
+            index_bits = geometry.log2_entries
+            index_mask = (1 << index_bits) - 1
+            folded_index = self.history.folded(geometry.history_bits, index_bits)
+            path_mix = fold_bits(path_raw, self._path_bits, index_bits)
+            index = (
+                word
+                ^ (word >> (index_bits - component_number % index_bits or 1))
+                ^ folded_index
+                ^ path_mix
+            ) & index_mask
+            tag_mask = (1 << geometry.tag_bits) - 1
+            folded_tag = self.history.folded(
+                geometry.history_bits, geometry.tag_bits
+            )
+            if geometry.tag_bits > 1:
+                folded_tag2 = self.history.folded(
+                    geometry.history_bits, geometry.tag_bits - 1
+                )
+            else:
+                folded_tag2 = 0
+            tag = (word ^ folded_tag ^ (folded_tag2 << 1)) & tag_mask
+            indices.append(index)
+            tags.append(tag)
+        return Lookup(pc, indices, tags)
+
+
+class UsefulnessMonitor:
+    """Periodic graceful reset of TAGE useful bits ([31]).
+
+    Every ``period`` allocation failures, all useful counters are aged by
+    one.  Predictors call :meth:`on_allocation_failure` and perform the
+    aging themselves through the returned flag.
+    """
+
+    def __init__(self, period: int = 512) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._period = period
+        self._failures = 0
+
+    def on_allocation_failure(self) -> bool:
+        """Record a failed allocation; True when an aging pass is due."""
+        self._failures += 1
+        if self._failures >= self._period:
+            self._failures = 0
+            return True
+        return False

@@ -1,0 +1,75 @@
+"""Zero predictor (paper §III.b).
+
+Zero-idiom elimination is non-speculative; the zero *predictor* goes
+further: a PC-indexed confidence table marks instructions that reliably
+produce 0, so their destination can be renamed to the hardwired zero
+register.  The instruction still executes to validate the prediction;
+sharing is trivial (the zero register is never allocated or freed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import XorShift64
+from repro.common.storage import StorageReport
+from repro.predictors.confidence import ConfidenceScale, SCALED
+
+
+@dataclass
+class ZeroPrediction:
+    """One lookup outcome, retained for commit-time training."""
+
+    pc: int
+    index: int
+    use_pred: bool
+
+
+class ZeroPredictor:
+    """Direct-mapped table of probabilistic confidence counters."""
+
+    def __init__(
+        self,
+        log2_entries: int = 12,
+        rng: XorShift64 | None = None,
+        scale: ConfidenceScale = SCALED,
+    ) -> None:
+        self.scale = scale
+        self._rng = rng if rng is not None else XorShift64()
+        entries = 1 << log2_entries
+        self._mask = entries - 1
+        self._conf = [0] * entries
+        self._use_level = scale.saturated_level
+        self.lookups = 0
+        self.confident_predictions = 0
+
+    def predict(self, pc: int) -> ZeroPrediction:
+        """Predict whether the instruction at *pc* produces 0."""
+        self.lookups += 1
+        index = (pc >> 2) & self._mask
+        use_pred = self._conf[index] >= self._use_level
+        if use_pred:
+            self.confident_predictions += 1
+        return ZeroPrediction(pc=pc, index=index, use_pred=use_pred)
+
+    def train(self, prediction: ZeroPrediction, actual_is_zero: bool) -> None:
+        """Commit-time training with the actual outcome."""
+        index = prediction.index
+        if actual_is_zero:
+            level = self._conf[index]
+            if level < self.scale.levels and self._rng.chance(
+                self.scale.probabilities[level]
+            ):
+                self._conf[index] = level + 1
+        else:
+            self._conf[index] = 0
+
+    def on_mispredict(self, prediction: ZeroPrediction) -> None:
+        self._conf[prediction.index] = 0
+
+    def storage_report(self) -> StorageReport:
+        report = StorageReport("zero predictor")
+        report.add_entries(
+            "confidence table", len(self._conf), 3
+        )
+        return report

@@ -1,0 +1,17 @@
+"""Register renaming: map table, free list, ISRB sharing, eliminations."""
+
+from repro.rename.free_list import FreeList, FreeListError
+from repro.rename.isrb import Isrb, IsrbEntry
+from repro.rename.map_table import RenameMap
+from repro.rename.move_elim import MoveEliminator
+from repro.rename.zero_idiom import ZeroIdiomEliminator
+
+__all__ = [
+    "FreeList",
+    "FreeListError",
+    "Isrb",
+    "IsrbEntry",
+    "MoveEliminator",
+    "RenameMap",
+    "ZeroIdiomEliminator",
+]

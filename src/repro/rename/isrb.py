@@ -1,0 +1,144 @@
+"""Inflight Shared Registers Buffer (ISRB) — the sharing tracker of [11].
+
+Physical register sharing needs reference counting, but per-register
+counters are hostile to checkpointed recovery.  The ISRB observation
+(§IV.E.2) is that few registers are shared at any time, so a small
+fully-associative buffer allocated on demand suffices.  Each entry, tagged
+by the physical register id, holds two counters:
+
+* ``referenced`` — number of *extra* references created by sharing
+  (speculative; decremented when a squash undoes a share);
+* ``committed`` — number of committed de-references (a mapping of the
+  register dying at commit).
+
+When ``committed`` strictly exceeds ``referenced`` (every owner is gone),
+or ``committed`` overflows, the entry is freed and the register may return
+to the free list.  If the buffer is full, no new sharing takes place — the
+paper's graceful-degradation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.storage import StorageReport, isrb_bits
+
+
+@dataclass
+class IsrbEntry:
+    """Dual counters for one shared physical register."""
+
+    referenced: int = 0
+    committed: int = 0
+
+
+class Isrb:
+    """The 24-entry, 6-bit-counter configuration evaluated in §VI.A.3."""
+
+    def __init__(self, entries: int = 24, counter_bits: int = 6,
+                 preg_tag_bits: int = 9) -> None:
+        if entries <= 0:
+            raise ValueError("ISRB needs at least one entry")
+        self.capacity = entries
+        self.counter_max = (1 << counter_bits) - 1
+        self._counter_bits = counter_bits
+        self._preg_tag_bits = preg_tag_bits
+        self._entries: dict[int, IsrbEntry] = {}
+        # Statistics.
+        self.shares = 0
+        self.share_rejections = 0
+        self.frees = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def is_shared(self, preg: int) -> bool:
+        return preg in self._entries
+
+    def entry(self, preg: int) -> IsrbEntry | None:
+        return self._entries.get(preg)
+
+    # ------------------------------------------------------------------
+
+    def share(self, preg: int) -> bool:
+        """Record one new reference to *preg* (a rename-time reuse).
+
+        Returns False — and records nothing — when the buffer is full or
+        the counter would overflow; the caller must then fall back to a
+        normal allocation (no sharing).
+        """
+        existing = self._entries.get(preg)
+        if existing is not None:
+            if existing.referenced >= self.counter_max:
+                self.share_rejections += 1
+                return False
+            existing.referenced += 1
+            self.shares += 1
+            return True
+        if len(self._entries) >= self.capacity:
+            self.share_rejections += 1
+            return False
+        self._entries[preg] = IsrbEntry(referenced=1, committed=0)
+        self.shares += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return True
+
+    def unshare(self, preg: int) -> bool:
+        """Undo one reference during squash walk-back.
+
+        Returns True when the entry died and the register must be freed
+        (possible when de-references already committed meanwhile).
+        """
+        entry = self._entries.get(preg)
+        if entry is None:
+            raise KeyError(f"unshare of untracked preg {preg}")
+        entry.referenced -= 1
+        if entry.referenced < 0:
+            raise ValueError(f"negative reference count on preg {preg}")
+        if entry.committed > entry.referenced:
+            del self._entries[preg]
+            self.frees += 1
+            return True
+        if entry.referenced == 0 and entry.committed == 0:
+            # Sharing fully undone before any owner died: drop the entry;
+            # the register is still live through the rename map.
+            del self._entries[preg]
+        return False
+
+    def dereference(self, preg: int) -> str:
+        """One committed owner of *preg* is gone.
+
+        Returns:
+
+        * ``"untracked"`` — not a shared register: caller frees it normally;
+        * ``"kept"`` — other owners remain: caller must NOT free it;
+        * ``"freed"`` — last owner gone (or counter overflow): entry
+          removed, caller frees the register.
+        """
+        entry = self._entries.get(preg)
+        if entry is None:
+            return "untracked"
+        entry.committed += 1
+        if entry.committed > entry.referenced or (
+            entry.committed > self.counter_max
+        ):
+            del self._entries[preg]
+            self.frees += 1
+            return "freed"
+        return "kept"
+
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> StorageReport:
+        """Reproduces the paper's 63B figure (24 × (2×6b + 9b tag))."""
+        report = StorageReport("ISRB")
+        report.add(
+            f"{self.capacity} entries × (2×{self._counter_bits}b counters "
+            f"+ {self._preg_tag_bits}b preg tag)",
+            isrb_bits(self.capacity, self._counter_bits, self._preg_tag_bits),
+        )
+        return report

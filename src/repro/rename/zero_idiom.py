@@ -1,0 +1,28 @@
+"""Zero-idiom elimination (§III.a) — a *baseline* feature.
+
+Decode recognises instructions that put 0 in a register (``eor x, y, y``,
+``sub x, y, y``, ``movz x, #0``, ``and`` with the zero register, …) and
+renames their destination to the hardwired zero register.  No execution,
+no validation, no speculation: the idiom is architecturally guaranteed.
+Recent x86 parts do exactly this [2], which is why the paper includes it
+in the baseline and why the zero *predictor* only counts non-idiom zeros.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import DynInst
+
+
+class ZeroIdiomEliminator:
+    """Rename-stage zero-idiom elimination."""
+
+    def __init__(self, zero_preg: int) -> None:
+        self._zero_preg = zero_preg
+        self.eliminated = 0
+
+    def try_eliminate(self, op: DynInst) -> int | None:
+        """Return the zero preg when *op* is a decode-visible zero idiom."""
+        if not op.zero_idiom or not op.produces_result():
+            return None
+        self.eliminated += 1
+        return self._zero_preg

@@ -1,0 +1,978 @@
+"""Workload kernels: building blocks of the SPEC'06 stand-in benchmarks.
+
+Each kernel is a small code generator with a controlled *value behaviour*,
+chosen so that benchmark mixes can dial in the stream properties RSEP and VP
+respond to (§2 of DESIGN.md):
+
+================  =====================================================
+Kernel            Behaviour it contributes
+================  =====================================================
+stream_sum        streaming loads of incompressible values (filler)
+pointer_chase     dependent loads, cache misses, *redundant load pairs
+                  at stable distance with irregular values* (RSEP-only)
+redundant_compute ALU recomputation at stable distance, irregular
+                  values (RSEP-only, non-load)
+strided_counters  strided results (VP-only: D-VTAGE strides)
+stack_spill       store→reload of a live value (RSEP loads, SMB-like;
+                  optionally strided values so VP overlaps)
+zero_loads        loads of sparse (zero-dense) data plus masked ALU
+                  zeros (zero-prediction potential, not idioms)
+lcg_noise         irregular values, no reuse (neither mechanism)
+branchy           pattern-predictable and random branches
+fp_stencil        FP array traversal, optional zero-dense data, FDIV
+byte_scan         narrow values from a small alphabet: high *potential*
+                  redundancy but unstable distances (Fig. 1 vs capture)
+const_reload      loop-invariant loads (VP and RSEP both capture)
+mov_shuffle       register-register moves (move-elimination fodder)
+call_ret          call/return through tiny functions (RAS exercise)
+================  =====================================================
+
+A kernel contributes three emission phases: out-of-line ``functions``,
+one-time ``setup``, and the per-outer-iteration ``body``.  Benchmarks unroll
+bodies straight-line (no inner loop registers), which also gives every
+dynamic instance its own PC — matching how compiled hot loops look to a
+predictor after unrolling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.rng import XorShift64
+from repro.isa.registers import XZR
+from repro.workloads.builder import ProgramBuilder
+
+
+@dataclass
+class Kernel:
+    """Emission phases of one kernel instance."""
+
+    name: str
+    setup: Callable[[], None]
+    body: Callable[[], None]
+    functions: Callable[[], None] | None = None
+
+
+def _pow2_words(n: int) -> int:
+    """Round *n* up to a power of two (element counts must mask cleanly)."""
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def stream_sum(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    elements: int = 4096,
+    reps: int = 4,
+    stride_words: int = 1,
+) -> Kernel:
+    """Streaming loads of random data accumulated into a register."""
+    elements = _pow2_words(elements)
+    base, off, addr, v, acc = b.regs.int_regs(5)
+    data = b.data.alloc_words([rng.next_u64() for _ in range(elements)])
+    mask = elements * 8 - 1
+
+    def setup() -> None:
+        b.load_imm64(base, data)
+        b.movz(off, 0)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.addi(off, off, 8 * stride_words)
+            b.andi(off, off, mask)
+            b.add(addr, base, off)
+            b.ldr(v, addr)
+            b.add(acc, acc, v)
+
+    return Kernel("stream_sum", setup, body)
+
+
+def pointer_chase(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    nodes: int = 1024,
+    reps: int = 2,
+    spacing: int = 4,
+    redundant: bool = True,
+    payload: bool = True,
+) -> Kernel:
+    """Linked-ring traversal with an optional redundant payload reload.
+
+    Nodes are 32 bytes (next pointer + payload + padding) laid out in a
+    random ring, so successive chase steps hit scattered lines.  When
+    *redundant* is set, each visit loads the payload twice with *spacing*
+    independent filler instructions in between: the second load always
+    equals the first, at a stable instruction distance, while the payload
+    value itself is irregular — the RSEP-friendly / VP-hostile pattern the
+    paper observes in mcf.
+    """
+    order = list(range(nodes))
+    rng.shuffle(order)
+    node_base = b.data.alloc(nodes * 32, align=32)
+    for position in range(nodes):
+        current = order[position]
+        successor = order[(position + 1) % nodes]
+        b.data.poke(node_base + current * 32, node_base + successor * 32)
+        b.data.poke(node_base + current * 32 + 8, rng.next_u64())
+
+    p, v1, v2, acc, sc = b.regs.int_regs(5)
+
+    def setup() -> None:
+        b.load_imm64(p, node_base + order[0] * 32)
+        b.movz(acc, 0)
+        b.movz(sc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.ldr(p, p)           # p = node->next (dependent chain)
+            if not payload:
+                # Load-queue-friendly variant: the chase load only.
+                b.addi(sc, sc, 1)
+                continue
+            b.ldr(v1, p, 8)       # payload
+            b.eor(acc, acc, v1)
+            for _ in range(spacing):
+                b.addi(sc, sc, 1)
+            if redundant:
+                b.ldr(v2, p, 8)   # same address: equal result, fixed IDist
+                b.add(acc, acc, v2)
+
+    return Kernel("pointer_chase", setup, body)
+
+
+def redundant_compute(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 2,
+    spacing: int = 6,
+) -> Kernel:
+    """Recompute an expression over irregular inputs at a stable distance.
+
+    ``t1 = a ^ b`` … filler … ``t2 = a ^ b``: t2 always equals t1 but the
+    value changes every iteration (a derives from an xorshift stream), so
+    only equality — not the value — is predictable.  This is the non-load
+    redundancy the paper highlights in dealII.
+    """
+    s, a, bb, t1, t2, acc = b.regs.int_regs(6)
+    seed = rng.next_u64() | 1
+
+    def setup() -> None:
+        b.load_imm64(s, seed)
+        b.movz(bb, 0x1234)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.lsli(t1, s, 13)
+            b.add(s, s, t1)
+            b.eori(s, s, 0x5DEECE66D)
+            b.lsri(a, s, 17)
+            b.eor(t1, a, bb)
+            for _ in range(spacing):
+                b.addi(acc, acc, 1)
+            b.eor(t2, a, bb)     # equal to t1, stable distance
+            b.add(acc, acc, t2)
+            b.addi(bb, bb, 3)
+
+    return Kernel("redundant_compute", setup, body)
+
+
+def strided_counters(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    counters: int = 3,
+    reps: int = 2,
+    store_elements: int = 1024,
+) -> Kernel:
+    """Strided value production: D-VTAGE's bread and butter, useless to RSEP.
+
+    Each counter advances by its own constant stride; results never equal a
+    recent older result, so equality prediction finds nothing, while a
+    stride-based value predictor captures everything after warm-up.
+    """
+    store_elements = _pow2_words(store_elements)
+    regs = b.regs.int_regs(counters)
+    base, off, sc = b.regs.int_regs(3)
+    strides = [rng.next_below(97) + 1 for _ in range(counters)]
+    buffer = b.data.alloc(store_elements * 8)
+    mask = store_elements * 8 - 1
+
+    def setup() -> None:
+        for reg in regs:
+            b.movz(reg, rng.next_below(1 << 16))
+        b.load_imm64(base, buffer)
+        b.movz(off, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            for reg, stride in zip(regs, strides):
+                b.addi(reg, reg, stride)
+            b.add(sc, base, off)
+            b.str_(regs[0], sc)
+            b.addi(off, off, 8)
+            b.andi(off, off, mask)
+
+    return Kernel("strided_counters", setup, body)
+
+
+def stack_spill(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 2,
+    spacing: int = 5,
+    vp_friendly: bool = False,
+) -> Kernel:
+    """Spill a live value to the stack and reload it shortly after.
+
+    The reload equals the spilled producer at a stable distance — the
+    def-store-load-use chain that Speculative Memory Bypassing targets and
+    that RSEP captures through values (§IV.H.2).  With *vp_friendly* the
+    spilled value is strided, so value prediction captures the reload too
+    (the perlbench-style overlap); otherwise it is irregular (RSEP-only).
+    """
+    sp, v, w, acc = b.regs.int_regs(4)
+    slot = b.data.alloc(64)
+
+    def setup() -> None:
+        b.load_imm64(sp, slot)
+        b.load_imm64(v, rng.next_u64() | 1)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            if vp_friendly:
+                b.addi(v, v, 24)
+            else:
+                b.lsli(w, v, 7)
+                b.add(v, v, w)
+                b.eori(v, v, 0x9E3779B9)
+            b.str_(v, sp)
+            for _ in range(spacing):
+                b.addi(acc, acc, 1)
+            b.ldr(w, sp)          # equals v: stable-distance pair
+            b.add(acc, acc, w)
+
+    return Kernel("stack_spill", setup, body)
+
+
+def zero_loads(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    elements: int = 2048,
+    reps: int = 3,
+    zero_density: float = 0.3,
+    high_bits_density: float = 0.2,
+    zero_run: int = 1,
+) -> Kernel:
+    """Sparse-data loads and masked ALU results that are frequently zero.
+
+    ``zero_density`` of the array reads as 0 (zero-producing *loads*);
+    independently, only ``high_bits_density`` of elements have any of the
+    top-32 bits set, so the masked extraction produces 0 for the rest
+    (zero-producing *non-loads*).  None of these are decode-visible idioms.
+    ``zero_run`` > 1 clusters the zeros (see :func:`_zero_run_values`).
+    """
+    elements = _pow2_words(elements)
+
+    def nonzero() -> int:
+        if rng.chance(high_bits_density):
+            return rng.next_u64() | (1 << 40)
+        return rng.next_u64() & 0xFFFF_FFFF or 1
+
+    values = _zero_run_values(rng, elements, zero_density, zero_run, nonzero)
+    base, off, addr, v, t, acc = b.regs.int_regs(6)
+    data = b.data.alloc_words(values)
+    mask = elements * 8 - 1
+
+    def setup() -> None:
+        b.load_imm64(base, data)
+        b.movz(off, 0)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.add(addr, base, off)
+            b.ldr(v, addr)                       # often 0 (load zero)
+            b.addi(off, off, 8)
+            b.andi(off, off, mask)
+            b.lsri(t, v, 32)                     # often 0 (non-load zero)
+            b.orr(acc, acc, v)
+            b.add(acc, acc, t)
+
+    return Kernel("zero_loads", setup, body)
+
+
+def lcg_noise(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 4,
+) -> Kernel:
+    """Pure xorshift churn: no redundancy, no strides, nothing predictable."""
+    s, t, acc = b.regs.int_regs(3)
+    seed = rng.next_u64() | 1
+
+    def setup() -> None:
+        b.load_imm64(s, seed)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.lsli(t, s, 13)
+            b.add(s, s, t)
+            b.lsri(t, s, 7)
+            b.eor(s, s, t)
+            b.add(acc, acc, s)
+
+    return Kernel("lcg_noise", setup, body)
+
+
+def branchy(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 2,
+    random_branches: int = 1,
+    pattern_branches: int = 1,
+    pattern_period: int = 4,
+) -> Kernel:
+    """Data-dependent control flow.
+
+    Random branches test on xorshift bits (~50% mispredict under any
+    predictor); pattern branches test a modular counter that TAGE learns
+    quickly.  The mix sets the benchmark's branch MPKI.
+
+    Branch arms hold only stores so the dynamic count of result producers
+    per iteration stays constant regardless of outcomes — real hot loops
+    with stable IDist pairs look like this too, otherwise the distances
+    would not be learnable in the first place.
+    """
+    s, t, acc, i, scratch = b.regs.int_regs(5)
+    scratch_slot = b.data.alloc(64)
+    seed = rng.next_u64() | 1
+
+    def setup() -> None:
+        b.load_imm64(s, seed)
+        b.movz(acc, 0)
+        b.movz(i, 0)
+        b.load_imm64(scratch, scratch_slot)
+
+    def body() -> None:
+        for _ in range(reps):
+            for _ in range(random_branches):
+                b.lsli(t, s, 13)
+                b.add(s, s, t)
+                b.lsri(t, s, 9)
+                b.eor(s, s, t)
+                b.andi(t, s, 1)
+                skip = b.fresh_label("rnd")
+                b.beq(t, XZR, skip)
+                b.str_(s, scratch)
+                b.label(skip)
+            for _ in range(pattern_branches):
+                b.addi(i, i, 1)
+                b.andi(t, i, pattern_period - 1)
+                skip = b.fresh_label("pat")
+                b.bne(t, XZR, skip)
+                b.str_(i, scratch, 8)
+                b.label(skip)
+
+    return Kernel("branchy", setup, body)
+
+
+def _zero_run_values(
+    rng: XorShift64,
+    elements: int,
+    zero_density: float,
+    run_length: int,
+    nonzero,
+) -> list[int]:
+    """Array contents with zeros laid out in runs of ~*run_length*.
+
+    Sparse scientific data is zero in *regions*, not Bernoulli-sampled;
+    runs make zero loads locally predictable (value prediction and zero
+    prediction both catch on mid-run), which matches the zeusmp/cactusADM
+    behaviour the paper measures.
+    """
+    if run_length <= 1:
+        return [
+            0 if rng.chance(zero_density) else nonzero()
+            for _ in range(elements)
+        ]
+    values: list[int] = []
+    in_zero_run = False
+    while len(values) < elements:
+        if in_zero_run:
+            for _ in range(run_length):
+                if len(values) >= elements:
+                    break
+                values.append(0)
+            in_zero_run = False
+        else:
+            span = max(1, int(run_length * (1.0 - zero_density)
+                              / max(zero_density, 0.01)))
+            for _ in range(span):
+                if len(values) >= elements:
+                    break
+                values.append(nonzero())
+            in_zero_run = rng.chance(0.9)
+    return values
+
+
+def fp_stencil(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    elements: int = 4096,
+    reps: int = 2,
+    zero_density: float = 0.0,
+    zero_run: int = 1,
+    fdiv_every: int = 0,
+    serial_acc: bool = False,
+    acc_steps: int = 1,
+) -> Kernel:
+    """Two-input FP array kernel: load, add, scale, store.
+
+    ``zero_density`` controls the fraction of 0.0 elements in the inputs
+    (loads of 0.0 and sums of zeros produce the all-zero bit pattern — the
+    zeusmp/cactusADM behaviour); ``zero_run`` > 1 lays the zeros out in
+    runs.  ``fdiv_every`` > 0 inserts a non-pipelined FDIV every that-many
+    repetitions.  ``serial_acc`` accumulates through a loop-carried FADD
+    chain (``acc_steps`` links per element, 3 cycles each) — the
+    multi-term reduction recurrence that pins IPC in real FP loops.
+    """
+    elements = _pow2_words(elements)
+    from repro.workloads.trace import float_to_bits
+
+    def nonzero() -> int:
+        return float_to_bits((rng.next_below(1 << 20) + 1) / 1024.0)
+
+    array_a = b.data.alloc_words(
+        _zero_run_values(rng, elements, zero_density, zero_run, nonzero)
+    )
+    array_b = b.data.alloc_words(
+        _zero_run_values(rng, elements, zero_density, zero_run, nonzero)
+    )
+    array_c = b.data.alloc(elements * 8)
+    base_a, base_b, base_c, off = b.regs.int_regs(4)
+    fa, fb, fc, fk = b.regs.fp_regs(4)
+    if serial_acc:
+        facc = b.regs.fp_reg()
+    mask = elements * 8 - 1
+
+    def setup() -> None:
+        b.load_imm64(base_a, array_a)
+        b.load_imm64(base_b, array_b)
+        b.load_imm64(base_c, array_c)
+        b.movz(off, 0)
+        b.fmovi(fk, 1.5)
+        if serial_acc:
+            b.fmovi(facc, 0.0)
+
+    sc_a, sc_b, sc_c = b.regs.int_regs(3)
+
+    def body() -> None:
+        # Base+displacement addressing, one pointer per array per
+        # iteration — the shape compiled stencils actually have, and far
+        # fewer parallel address streams to alias in hash space.
+        b.add(sc_a, base_a, off)
+        b.add(sc_b, base_b, off)
+        b.add(sc_c, base_c, off)
+        for rep in range(reps):
+            b.fldr(fa, sc_a, rep * 8)
+            b.fldr(fb, sc_b, rep * 8)
+            b.fadd(fc, fa, fb)
+            b.fmul(fc, fc, fk)
+            if fdiv_every and rep % fdiv_every == fdiv_every - 1:
+                b.fdiv(fc, fc, fk)
+            if serial_acc:
+                for _ in range(acc_steps):
+                    b.fadd(facc, facc, fc)  # loop-carried 3c recurrence
+            b.fstr(fc, sc_c, rep * 8)
+        b.addi(off, off, 8 * reps)
+        b.andi(off, off, mask)
+
+    return Kernel("fp_stencil", setup, body)
+
+
+def byte_scan(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    buffer_bytes: int = 4096,
+    reps: int = 4,
+    alphabet: int = 16,
+    needle: int = 3,
+) -> Kernel:
+    """Byte-grain scanning of low-entropy data.
+
+    Byte loads from a small alphabet are massively redundant *in value*
+    (Fig. 1 potential) but matches occur at unstable distances, so RSEP
+    captures only part of it — the gap between potential and capture the
+    paper discusses.  The compare-and-branch on the needle byte adds
+    data-dependent (hard) branches.
+    """
+    buffer_bytes = _pow2_words(buffer_bytes)
+    data = bytes(rng.next_below(alphabet) for _ in range(buffer_bytes))
+    base, off, addr, c, t, acc = b.regs.int_regs(6)
+    buffer = b.data.alloc_bytes(data)
+    mask = buffer_bytes - 1
+
+    def setup() -> None:
+        b.load_imm64(base, buffer)
+        b.movz(off, 0)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.add(addr, base, off)
+            b.ldrb(c, addr)
+            b.addi(off, off, 1)
+            b.andi(off, off, mask)
+            b.eori(t, c, needle)
+            # Data-dependent branch with an empty arm: it mispredicts like
+            # a match test but leaves the producer count per iteration
+            # stable (no conditional result producers).
+            found = b.fresh_label("scan")
+            b.bne(t, XZR, found)
+            b.label(found)
+            b.add(acc, acc, c)
+
+    return Kernel("byte_scan", setup, body)
+
+
+def const_reload(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    fields: int = 3,
+    reps: int = 1,
+) -> Kernel:
+    """Loop-invariant loads of global-structure fields.
+
+    Every iteration reloads the same never-written fields: the value is
+    constant (VP captures it via last-value) *and* equals the previous
+    iteration's load at a stable cross-iteration distance (RSEP captures it
+    too) — the libquantum-style overlap.
+    """
+    field_values = [rng.next_u64() | 1 for _ in range(fields)]
+    gbase, v, acc = b.regs.int_regs(3)
+    struct_base = b.data.alloc_words(field_values)
+
+    def setup() -> None:
+        b.load_imm64(gbase, struct_base)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            for field_index in range(fields):
+                b.ldr(v, gbase, field_index * 8)
+                b.add(acc, acc, v)
+
+    return Kernel("const_reload", setup, body)
+
+
+def mov_shuffle(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 2,
+    chain: int = 2,
+) -> Kernel:
+    """Register-to-register moves of a live value (move-elimination fodder)."""
+    src = b.regs.int_reg()
+    links = b.regs.int_regs(chain)
+    acc = b.regs.int_reg()
+
+    def setup() -> None:
+        b.movz(src, rng.next_below(1 << 16))
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.addi(src, src, 5)
+            previous = src
+            for link in links:
+                b.mov(link, previous)
+                previous = link
+            b.add(acc, acc, previous)
+
+    return Kernel("mov_shuffle", setup, body)
+
+
+def call_ret(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    reps: int = 1,
+    functions: int = 2,
+    body_alu: int = 3,
+) -> Kernel:
+    """Calls through tiny leaf functions (return-address-stack exercise)."""
+    arg, acc = b.regs.int_regs(2)
+    labels = [b.fresh_label(f"fn{k}") for k in range(functions)]
+    salts = [rng.next_below(1 << 12) | 1 for _ in range(functions)]
+
+    def emit_functions() -> None:
+        for label_name, salt in zip(labels, salts):
+            b.label(label_name)
+            for _ in range(body_alu):
+                b.addi(arg, arg, salt)
+                b.eori(arg, arg, salt * 3)
+            b.ret()
+
+    def setup() -> None:
+        b.movz(arg, 1)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            for label_name in labels:
+                b.bl(label_name)
+                b.add(acc, acc, arg)
+
+    return Kernel("call_ret", setup, body, functions=emit_functions)
+
+
+# ---------------------------------------------------------------------------
+# Chain-structured kernels: these put the predictable value ON the critical
+# path, which is where RSEP/VP speedups actually come from.  An out-of-order
+# core already overlaps independent work; only serial dependence chains (and
+# branch resolution) leave headroom for value speculation.
+# ---------------------------------------------------------------------------
+
+
+def ring_chase(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    ring_nodes: int = 10,
+    reps: int = 2,
+    payload: bool = True,
+    payload_branch: bool = False,
+    deref_bytes: int = 0,
+) -> Kernel:
+    """Serial pointer chase around a *small, hot* ring (the mcf pattern).
+
+    ``p = load(p)`` is a loop-carried 4-cycle-per-step recurrence even when
+    every node hits the L1.  Because the ring is revisited every
+    ``ring_nodes`` steps, each chase load's value equals the value the same
+    static load produced one lap ago — a *stable* IDist within the ROB.
+    RSEP therefore hands the next address to dependents immediately and
+    de-serialises the chase, while value prediction sees a non-strided,
+    period-``ring_nodes`` sequence it cannot capture.  This is the §IV.H.2
+    "loads can use registers from instructions on a different dependency
+    chain" win.
+
+    ``payload_branch`` adds an unpredictable branch fed by (payload ^
+    xorshift): RSEP delivers the payload early, shortening the branch
+    resolution time and thus the misprediction penalty.  ``deref_bytes`` > 0
+    adds a second-level load into a large array indexed by the payload —
+    the memory-level-parallelism variant.
+    """
+    node_base = b.data.alloc(ring_nodes * 32, align=32)
+    for position in range(ring_nodes):
+        successor = (position + 1) % ring_nodes
+        b.data.poke(node_base + position * 32, node_base + successor * 32)
+        payload = rng.next_u64()
+        if deref_bytes:
+            payload &= (deref_bytes - 1) & ~7
+        b.data.poke(node_base + position * 32 + 8, payload)
+
+    p, v, t, acc = b.regs.int_regs(4)
+    if deref_bytes:
+        big_base, w = b.regs.int_regs(2)
+        big = b.data.alloc(deref_bytes)
+    if payload_branch:
+        s, scratch = b.regs.int_regs(2)
+        scratch_slot = b.data.alloc(64)
+    seed = rng.next_u64() | 1
+
+    def setup() -> None:
+        b.load_imm64(p, node_base)
+        b.movz(acc, 0)
+        if deref_bytes:
+            b.load_imm64(big_base, big)
+        if payload_branch:
+            b.load_imm64(s, seed)
+            b.load_imm64(scratch, scratch_slot)
+
+    def body() -> None:
+        if payload_branch:
+            # Advance the noise once per iteration, off the chase chain,
+            # so each step stays light and pair distances stay short.
+            b.lsli(t, s, 13)
+            b.add(s, s, t)
+            b.lsri(t, s, 9)
+            b.eor(s, s, t)
+        for step in range(reps):
+            b.ldr(p, p)          # serial recurrence; RSEP-collapsible
+            if not payload:
+                # Keep load-queue pressure low (one load per step); touch
+                # the accumulator once per lap so the producer count per
+                # lap stays constant (distance stability).
+                if step % ring_nodes == ring_nodes - 1:
+                    b.add(acc, acc, p)
+                continue
+            b.ldr(v, p, 8)       # payload: periodic, stable distance
+            if deref_bytes:
+                b.add(w, big_base, v)
+                b.ldr(w, w)      # second level: scattered, larger footprint
+                b.eor(acc, acc, w)
+            if payload_branch:
+                b.eor(t, v, s)   # slow payload × fast noise
+                b.andi(t, t, 1)
+                skip = b.fresh_label("ring")
+                # The taken arm holds only a store: stores produce no
+                # register result, so the lap's producer count — and hence
+                # the pair's IDist — stays stable either way.
+                b.beq(t, XZR, skip)
+                b.str_(acc, scratch)
+                b.label(skip)
+                b.add(acc, acc, v)
+            else:
+                b.add(acc, acc, v)
+
+    return Kernel("ring_chase", setup, body)
+
+
+def xor_ring(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    chain: int = 6,
+    reps: int = 1,
+    period_two: bool = True,
+    with_move: bool = False,
+) -> Kernel:
+    """A serial XOR chain whose values recur with period 1 or 2 iterations.
+
+    ``x ^= c1; x ^= c2; …`` is a 1-cycle-per-link loop-carried chain.  The
+    XOR constants make every link's value sequence periodic: with
+    ``period_two`` the iteration-XOR is non-zero, so values alternate
+    A,B,A,B — last-value/stride prediction fails but the IDist to the
+    same link two iterations ago is rock-stable, and RSEP collapses the
+    whole chain (the dealII non-load redundancy).  With ``period_two``
+    False the constants cancel and values also repeat every iteration,
+    which value prediction captures as well (overlap case).
+
+    ``with_move`` threads one register-register move through the chain —
+    a real dependency that move elimination (and hence RSEP, which always
+    brings move elimination along) removes at rename.
+    """
+    x, acc = b.regs.int_regs(2)
+    if with_move:
+        move_tmp = b.regs.int_reg()
+    constants = [rng.next_below(1 << 32) | 1 for _ in range(chain - 1)]
+    closing = 0
+    for value in constants:
+        closing ^= value
+    if period_two:
+        closing ^= 0x5A5A_A5A5  # leave a non-zero iteration XOR
+    constants.append(closing)
+
+    def setup() -> None:
+        b.load_imm64(x, rng.next_u64() | 1)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            for constant in constants[:-1]:
+                b.eori(x, x, constant)
+            if with_move:
+                b.mov(move_tmp, x)      # on the chain; elimination-fodder
+                b.eori(x, move_tmp, constants[-1])
+            else:
+                b.eori(x, x, constants[-1])
+            b.add(acc, acc, x)
+
+    return Kernel("xor_ring", setup, body)
+
+
+def stride_chain(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    chain: int = 5,
+    reps: int = 1,
+) -> Kernel:
+    """A serial add chain producing strided values (the VP-only pattern).
+
+    ``x += c1; x += c2; …`` is loop-carried and 1 cycle per link; every
+    link's value advances by a constant per iteration, so D-VTAGE captures
+    the entire chain and collapses it.  No value ever equals a recent older
+    value, so equality prediction finds nothing — the wrf/gromacs shape
+    where VP is clearly ahead of RSEP (Fig. 4).
+    """
+    x, acc = b.regs.int_regs(2)
+    constants = [rng.next_below(1 << 12) | 1 for _ in range(chain)]
+
+    def setup() -> None:
+        b.movz(x, rng.next_below(1 << 16))
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            for constant in constants:
+                b.addi(x, x, constant)
+            b.add(acc, acc, x)
+
+    return Kernel("stride_chain", setup, body)
+
+
+def const_chain(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    links: int = 5,
+    zero_fields: bool = False,
+) -> Kernel:
+    """A serial chain threaded through loop-invariant loads.
+
+    Each field's low bits encode the offset of the *next* field, so every
+    link masks the previous loaded constant to form the next address and
+    loads a never-written field: a 6-cycle-per-link self-addressing
+    recurrence (the shape of libquantum's gate-list walks).  Both
+    mechanisms collapse it — the loads are constant (VP last-value) and
+    recur at a stable cross-iteration distance (RSEP).  The masked offsets
+    are non-zero, so the zero predictor gets no purchase on the chain.
+
+    With ``zero_fields`` all fields hold 0 (structural zeros, e.g. an
+    all-zero sparse region): every link loads 0 and masks to 0 — none of
+    it a decode-visible idiom — so the *zero predictor* collapses the
+    chain too.  This is the gamess/libquantum case where zero prediction
+    shows real speedup and both VP and RSEP subsume it (§VI.A.1).
+    """
+    offsets = list(range(1, links + 1))  # link k lives at word k, wraps to 1
+    field_values = []
+    for position in range(links):
+        next_offset = offsets[(position + 1) % links] if links > 1 else 1
+        high = (rng.next_u64() << 7) & ((1 << 63) - 1)
+        field_values.append(0 if zero_fields else high | (next_offset * 8))
+    gbase, v, t, acc = b.regs.int_regs(4)
+    struct_base = b.data.alloc_words([0] + field_values)  # word 0 unused
+
+    def setup() -> None:
+        b.load_imm64(gbase, struct_base)
+        b.movz(v, 0 if zero_fields else 8)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(links):
+            b.andi(t, v, 0x78)        # next-field offset (0 only for zeros)
+            b.add(t, gbase, t)
+            b.ldr(v, t)               # loop-invariant field
+        b.add(acc, acc, v)
+
+    return Kernel("const_chain", setup, body)
+
+
+def mixed_chain(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    stride_links: int = 10,
+    spills: int = 2,
+    segment: int = 5,
+) -> Kernel:
+    """One serial chain alternating strided ALU links and spill-reloads.
+
+    The strided segments are what value prediction collapses.  Before each
+    spill the value is XORed with a fast-changing noise register, so the
+    *stored/reloaded* value is irregular — VP cannot predict the reload,
+    but RSEP can (the reload equals the XOR that produced it, at a stable
+    distance), and the noise is undone right after.  Each mechanism
+    removes its own links; together they flatten the chain — the
+    xalancbmk shape where RSEP and VP both win and combine well (Fig. 4).
+    """
+    x, sp, w, noise, acc = b.regs.int_regs(5)
+    slots = b.data.alloc(64 + spills * 8)
+    constants = [rng.next_below(1 << 10) | 1 for _ in range(stride_links)]
+    seed = rng.next_u64() | 1
+
+    def setup() -> None:
+        b.load_imm64(sp, slots)
+        b.movz(x, rng.next_below(1 << 16))
+        b.load_imm64(noise, seed)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        # Advance the noise off the critical chain (xorshift, irregular).
+        b.lsli(w, noise, 13)
+        b.add(noise, noise, w)
+        b.lsri(w, noise, 9)
+        b.eor(noise, noise, w)
+        remaining = list(constants)
+        spill_slot = 0
+        while remaining:
+            for constant in remaining[:segment]:
+                b.addi(x, x, constant)
+            remaining = remaining[segment:]
+            if spill_slot < spills:
+                b.eor(x, x, noise)                  # hide the stride
+                b.str_(x, sp, spill_slot * 8)
+                b.ldr(w, sp, spill_slot * 8)        # RSEP-collapsible
+                b.eor(x, w, noise)                  # unhide
+                spill_slot += 1
+        b.add(acc, acc, x)
+
+    return Kernel("mixed_chain", setup, body)
+
+
+def late_producer_pair(
+    b: ProgramBuilder,
+    rng: XorShift64,
+    *,
+    elements: int = 65536,
+    reps: int = 1,
+    spacing: int = 3,
+) -> Kernel:
+    """Equal-value pairs whose *producer* arrives late (the bzip2 hazard).
+
+    A cache-missing load produces a value; a few instructions later a cheap
+    L1-resident mirror load produces the *same* value.  Predicting (or even
+    training through validation, §IV.B.3) makes the cheap consumer — and
+    its dependents — wait for the slow producer: the critical-path
+    lengthening that causes the sampling-threshold-15 slowdown in Fig. 6.
+    """
+    elements = _pow2_words(elements)
+    mirror_elements = 512
+    values = [rng.next_u64() for _ in range(mirror_elements)]
+    big = b.data.alloc_words(
+        [values[i % mirror_elements] for i in range(elements)]
+    )
+    mirror = b.data.alloc_words(values)
+    base, mbase, off, v1, v2, acc = b.regs.int_regs(6)
+    mask = elements * 8 - 1
+    mmask = mirror_elements * 8 - 1
+
+    def setup() -> None:
+        b.load_imm64(base, big)
+        b.load_imm64(mbase, mirror)
+        b.movz(off, 0)
+        b.movz(acc, 0)
+
+    def body() -> None:
+        for _ in range(reps):
+            b.addi(off, off, 8 * 173)      # scattered: misses often
+            b.andi(off, off, mask)
+            b.add(v1, base, off)
+            b.ldr(v1, v1)                   # slow producer
+            for _ in range(spacing):
+                b.addi(acc, acc, 1)
+            b.andi(v2, off, mmask)
+            b.add(v2, mbase, v2)
+            b.ldr(v2, v2)                   # fast consumer, equal value
+            b.add(acc, acc, v2)
+
+    return Kernel("late_producer_pair", setup, body)

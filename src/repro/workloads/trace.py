@@ -1,0 +1,311 @@
+"""Functional interpreter: executes programs into dynamic-instruction traces.
+
+The interpreter is the architectural reference model.  It executes a
+:class:`~repro.isa.program.Program` with real 64-bit semantics and records a
+:class:`~repro.isa.instruction.DynInst` per committed instruction — result
+values, effective addresses and branch outcomes.  The timing model replays
+this committed path and resolves all speculation against it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.bitops import mask64, to_signed64
+from repro.isa.instruction import DynInst, NO_ADDR, NO_REG
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_ARCH_REGS, XZR
+
+
+def float_to_bits(value: float) -> int:
+    """Raw 64-bit pattern of a float64."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """float64 value of a raw 64-bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]
+
+
+def _signed_div(dividend: int, divisor: int) -> int:
+    """Hardware-style signed division: truncate toward zero, x/0 == 0."""
+    a = to_signed64(dividend)
+    b = to_signed64(divisor)
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return mask64(quotient)
+
+
+def _fp_op(op, a_bits: int, b_bits: int) -> int:
+    """Apply a float64 binary operation on raw bit patterns."""
+    a = bits_to_float(a_bits)
+    b = bits_to_float(b_bits)
+    try:
+        result = op(a, b)
+    except (OverflowError, ZeroDivisionError):
+        result = float("inf") if (a >= 0) == (b >= 0) else float("-inf")
+    if result != result:  # NaN: canonicalise
+        return 0x7FF8_0000_0000_0000
+    try:
+        return float_to_bits(result)
+    except (OverflowError, struct.error):
+        return float_to_bits(float("inf") if result > 0 else float("-inf"))
+
+
+class Machine:
+    """Architectural state: unified register file plus word-grain memory."""
+
+    __slots__ = ("regs", "memory")
+
+    def __init__(self, memory_image: dict[int, int] | None = None) -> None:
+        self.regs = [0] * NUM_ARCH_REGS
+        # Maps word address (byte address >> 3) -> 64-bit value.
+        self.memory = dict(memory_image) if memory_image else {}
+
+    def read_reg(self, reg: int) -> int:
+        if reg == XZR:
+            return 0
+        return self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        if reg != XZR:
+            self.regs[reg] = mask64(value)
+
+    def load_word(self, addr: int) -> int:
+        return self.memory.get(addr >> 3, 0)
+
+    def load_byte(self, addr: int) -> int:
+        word = self.memory.get(addr >> 3, 0)
+        return (word >> ((addr & 7) * 8)) & 0xFF
+
+    def store_word(self, addr: int, value: int) -> None:
+        self.memory[addr >> 3] = mask64(value)
+
+
+class Trace:
+    """A committed-path dynamic instruction trace.
+
+    Stored as an indexable list so the timing model can rewind to any point
+    after a squash.
+    """
+
+    def __init__(self, name: str, instructions: list[DynInst]) -> None:
+        self.name = name
+        self.instructions = instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> DynInst:
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    @property
+    def result_producers(self) -> int:
+        return sum(1 for d in self.instructions if d.produces_result())
+
+
+class InterpreterError(RuntimeError):
+    """Raised on malformed execution (e.g. runaway PC)."""
+
+
+def execute(
+    program: Program,
+    max_instructions: int,
+    machine: Machine | None = None,
+) -> Trace:
+    """Run *program* for at most *max_instructions* dynamic instructions.
+
+    Returns the committed-path :class:`Trace`.  Execution stops early at
+    ``HALT``.  The caller may pass a pre-initialised :class:`Machine` (e.g.
+    with a data image); by default an image-less machine is used.
+    """
+    m = machine if machine is not None else Machine()
+    regs = m.regs
+    instructions = program.instructions
+    trace: list[DynInst] = []
+    append = trace.append
+
+    index = 0
+    seq = 0
+    num_static = len(instructions)
+    while seq < max_instructions:
+        if not 0 <= index < num_static:
+            raise InterpreterError(f"PC escaped program: index {index}")
+        instr = instructions[index]
+        op = instr.opcode
+        pc = program.pc_of(index)
+        rd = instr.rd
+        next_index = index + 1
+
+        if op == Opcode.HALT:
+            break
+
+        dest = NO_REG
+        result = 0
+        addr = NO_ADDR
+        taken = False
+        target_pc = -1
+
+        if op == Opcode.ADD:
+            result = mask64(m.read_reg(instr.rs1) + m.read_reg(instr.rs2))
+            dest = rd
+        elif op == Opcode.ADDI:
+            result = mask64(m.read_reg(instr.rs1) + instr.imm)
+            dest = rd
+        elif op == Opcode.SUB:
+            result = mask64(m.read_reg(instr.rs1) - m.read_reg(instr.rs2))
+            dest = rd
+        elif op == Opcode.SUBI:
+            result = mask64(m.read_reg(instr.rs1) - instr.imm)
+            dest = rd
+        elif op == Opcode.AND:
+            result = m.read_reg(instr.rs1) & m.read_reg(instr.rs2)
+            dest = rd
+        elif op == Opcode.ANDI:
+            result = m.read_reg(instr.rs1) & mask64(instr.imm)
+            dest = rd
+        elif op == Opcode.ORR:
+            result = m.read_reg(instr.rs1) | m.read_reg(instr.rs2)
+            dest = rd
+        elif op == Opcode.ORRI:
+            result = m.read_reg(instr.rs1) | mask64(instr.imm)
+            dest = rd
+        elif op == Opcode.EOR:
+            result = m.read_reg(instr.rs1) ^ m.read_reg(instr.rs2)
+            dest = rd
+        elif op == Opcode.EORI:
+            result = m.read_reg(instr.rs1) ^ mask64(instr.imm)
+            dest = rd
+        elif op == Opcode.LSL:
+            result = mask64(m.read_reg(instr.rs1) << (m.read_reg(instr.rs2) & 63))
+            dest = rd
+        elif op == Opcode.LSLI:
+            result = mask64(m.read_reg(instr.rs1) << (instr.imm & 63))
+            dest = rd
+        elif op == Opcode.LSR:
+            result = m.read_reg(instr.rs1) >> (m.read_reg(instr.rs2) & 63)
+            dest = rd
+        elif op == Opcode.LSRI:
+            result = m.read_reg(instr.rs1) >> (instr.imm & 63)
+            dest = rd
+        elif op == Opcode.MOVZ:
+            result = mask64(instr.imm)
+            dest = rd
+        elif op == Opcode.MOV:
+            result = m.read_reg(instr.rs1)
+            dest = rd
+        elif op == Opcode.MUL:
+            result = mask64(m.read_reg(instr.rs1) * m.read_reg(instr.rs2))
+            dest = rd
+        elif op == Opcode.DIV:
+            result = _signed_div(m.read_reg(instr.rs1), m.read_reg(instr.rs2))
+            dest = rd
+        elif op == Opcode.LDR:
+            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
+            result = m.load_word(addr)
+            dest = rd
+        elif op == Opcode.LDRB:
+            addr = mask64(m.read_reg(instr.rs1) + instr.imm)
+            result = m.load_byte(addr)
+            dest = rd
+        elif op == Opcode.STR:
+            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
+            m.store_word(addr, m.read_reg(instr.rs2))
+        elif op == Opcode.B:
+            taken = True
+            next_index = instr.target
+            target_pc = program.pc_of(next_index)
+        elif op == Opcode.BEQ:
+            taken = m.read_reg(instr.rs1) == m.read_reg(instr.rs2)
+        elif op == Opcode.BNE:
+            taken = m.read_reg(instr.rs1) != m.read_reg(instr.rs2)
+        elif op == Opcode.BLT:
+            taken = to_signed64(m.read_reg(instr.rs1)) < to_signed64(
+                m.read_reg(instr.rs2)
+            )
+        elif op == Opcode.BGE:
+            taken = to_signed64(m.read_reg(instr.rs1)) >= to_signed64(
+                m.read_reg(instr.rs2)
+            )
+        elif op == Opcode.BL:
+            taken = True
+            result = program.pc_of(index + 1)
+            dest = rd
+            next_index = instr.target
+            target_pc = program.pc_of(next_index)
+        elif op == Opcode.RET:
+            taken = True
+            return_pc = m.read_reg(instr.rs1)
+            next_index = program.index_of(return_pc)
+            target_pc = return_pc
+        elif op == Opcode.FADD:
+            result = _fp_op(lambda a, b: a + b, regs[instr.rs1], regs[instr.rs2])
+            dest = rd
+        elif op == Opcode.FSUB:
+            result = _fp_op(lambda a, b: a - b, regs[instr.rs1], regs[instr.rs2])
+            dest = rd
+        elif op == Opcode.FMUL:
+            result = _fp_op(lambda a, b: a * b, regs[instr.rs1], regs[instr.rs2])
+            dest = rd
+        elif op == Opcode.FDIV:
+            result = _fp_op(lambda a, b: a / b, regs[instr.rs1], regs[instr.rs2])
+            dest = rd
+        elif op == Opcode.FMOV:
+            result = regs[instr.rs1]
+            dest = rd
+        elif op == Opcode.FMOVI:
+            result = mask64(instr.imm)
+            dest = rd
+        elif op == Opcode.FLDR:
+            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
+            result = m.load_word(addr)
+            dest = rd
+        elif op == Opcode.FSTR:
+            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
+            m.store_word(addr, regs[instr.rs2])
+        elif op == Opcode.NOP:
+            pass
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"unimplemented opcode {op!r}")
+
+        # Conditional branches resolve their target only if taken.
+        if instr.info.is_conditional:
+            if taken:
+                next_index = instr.target
+                target_pc = program.pc_of(next_index)
+            else:
+                target_pc = program.pc_of(index + 1)
+
+        if dest != NO_REG:
+            m.write_reg(dest, result)
+            if dest == XZR:
+                dest = NO_REG  # architectural no-op: not a result producer
+                result = 0
+
+        append(
+            DynInst(
+                seq=seq,
+                pc=pc,
+                opcode=op,
+                dest=dest,
+                src1=instr.rs1 if instr.info.reads_rs1 else NO_REG,
+                src2=instr.rs2 if instr.info.reads_rs2 else NO_REG,
+                result=result,
+                addr=addr,
+                taken=taken,
+                target_pc=target_pc,
+                zero_idiom=instr.is_zero_idiom(),
+                move=instr.is_move(),
+            )
+        )
+        seq += 1
+        index = next_index
+
+    return Trace(program.name, trace)

@@ -1,0 +1,300 @@
+"""Unit tests for repro.common: bitops, rng, counters, history, storage."""
+
+import math
+
+import pytest
+
+from repro.common.bitops import (
+    MASK64,
+    bit_select,
+    fold_bits,
+    fold_hash,
+    from_signed64,
+    is_power_of_two,
+    log2_exact,
+    mask64,
+    popcount64,
+    to_signed64,
+)
+from repro.common.counters import (
+    FPC_DEFAULT_PROBABILITIES,
+    ProbabilisticCounter,
+    SaturatingCounter,
+    expected_occurrences_to_saturate,
+)
+from repro.common.history import FoldedRegister, GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.common.storage import (
+    StorageReport,
+    bits_to_kib,
+    fifo_history_bits,
+    hrf_bits,
+    isrb_bits,
+)
+
+
+class TestBitops:
+    def test_mask64_truncates(self):
+        assert mask64(1 << 64) == 0
+        assert mask64(-1) == MASK64
+
+    def test_signed_round_trip(self):
+        for value in (0, 1, -1, 2**63 - 1, -(2**63)):
+            assert to_signed64(from_signed64(value)) == value
+
+    def test_to_signed64_negative(self):
+        assert to_signed64(MASK64) == -1
+
+    def test_bit_select(self):
+        assert bit_select(0b101100, 3, 2) == 0b11
+        assert bit_select(MASK64, 63, 0) == MASK64
+
+    def test_bit_select_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            bit_select(1, 0, 3)
+
+    def test_fold_hash_formula_14bit(self):
+        # Hash[13..0] = val[13..0] ^ val[27..14] ^ val[41..28]
+        #               ^ val[55..42] ^ val[63..56]
+        value = 0x0123_4567_89AB_CDEF
+        expected = (
+            bit_select(value, 13, 0)
+            ^ bit_select(value, 27, 14)
+            ^ bit_select(value, 41, 28)
+            ^ bit_select(value, 55, 42)
+            ^ bit_select(value, 63, 56)
+        )
+        assert fold_hash(value, 14) == expected
+
+    def test_fold_hash_zero_and_minus_one_distinct_at_14_bits(self):
+        # The paper picks a non-power-of-two width so 0 and -1 differ.
+        assert fold_hash(0, 14) == 0
+        assert fold_hash(MASK64, 14) != 0
+
+    def test_fold_hash_minus_one_collides_at_16_bits(self):
+        # ...whereas power-of-two folds collapse -1 onto 0 (§IV.A).
+        assert fold_hash(MASK64, 16) == 0
+
+    def test_fold_hash_range(self):
+        for bits in (8, 13, 14, 16):
+            assert 0 <= fold_hash(0xDEADBEEF12345678, bits) < (1 << bits)
+
+    def test_fold_hash_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            fold_hash(1, 0)
+
+    def test_fold_bits(self):
+        assert fold_bits(0b1111, 4, 2) == 0b00  # 11 ^ 11
+        assert fold_bits(0b1101, 4, 2) == 0b10  # 01 ^ 11
+
+    def test_popcount(self):
+        assert popcount64(0) == 0
+        assert popcount64(MASK64) == 64
+
+    def test_power_of_two_helpers(self):
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(96)
+        assert log2_exact(4096) == 12
+        with pytest.raises(ValueError):
+            log2_exact(96)
+
+
+class TestXorShift64:
+    def test_deterministic(self):
+        a, b = XorShift64(7), XorShift64(7)
+        assert [a.next_u64() for _ in range(10)] == [
+            b.next_u64() for _ in range(10)
+        ]
+
+    def test_seed_zero_is_remapped(self):
+        rng = XorShift64(0)
+        assert rng.next_u64() != 0
+
+    def test_next_below_bounds(self):
+        rng = XorShift64(3)
+        assert all(0 <= rng.next_below(17) < 17 for _ in range(200))
+
+    def test_next_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            XorShift64(1).next_below(0)
+
+    def test_chance_extremes(self):
+        rng = XorShift64(9)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_chance_statistics(self):
+        rng = XorShift64(11)
+        hits = sum(rng.chance(0.25) for _ in range(4000))
+        assert 800 < hits < 1200
+
+    def test_choice_and_shuffle(self):
+        rng = XorShift64(5)
+        items = list(range(16))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_fork_independence(self):
+        rng = XorShift64(13)
+        f1, f2 = rng.fork(1), rng.fork(2)
+        assert f1.next_u64() != f2.next_u64()
+
+
+class TestSaturatingCounter:
+    def test_saturates_high_and_low(self):
+        c = SaturatingCounter(2)
+        for _ in range(10):
+            c.increment()
+        assert c.value == 3 and c.is_saturated()
+        for _ in range(10):
+            c.decrement()
+        assert c.value == 0
+
+    def test_reset_bounds(self):
+        c = SaturatingCounter(3)
+        c.reset(5)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.reset(8)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+
+class TestProbabilisticCounter:
+    def test_first_increment_always_succeeds(self):
+        c = ProbabilisticCounter(XorShift64(1))
+        assert c.increment()
+        assert c.value == 1
+
+    def test_saturation_stops_increments(self):
+        c = ProbabilisticCounter(XorShift64(1), probabilities=(1.0, 1.0))
+        c.increment(), c.increment()
+        assert c.is_saturated()
+        assert not c.increment()
+
+    def test_hard_reset_on_mispredict(self):
+        c = ProbabilisticCounter(XorShift64(1), probabilities=(1.0, 1.0))
+        c.increment(), c.increment()
+        c.on_mispredict()
+        assert c.value == 0
+
+    def test_soft_decay(self):
+        c = ProbabilisticCounter(
+            XorShift64(1), probabilities=(1.0, 1.0), hard_reset=False
+        )
+        c.increment(), c.increment()
+        c.on_mispredict()
+        assert c.value == 1
+
+    def test_expected_occurrences(self):
+        expected = expected_occurrences_to_saturate(FPC_DEFAULT_PROBABILITIES)
+        assert expected == pytest.approx(1 + 16 * 4 + 32 * 2)
+
+    def test_probabilistic_training_time_statistics(self):
+        rng = XorShift64(23)
+        times = []
+        for _ in range(120):
+            c = ProbabilisticCounter(rng, probabilities=(1.0, 0.25, 0.25))
+            steps = 0
+            while not c.is_saturated():
+                c.increment()
+                steps += 1
+            times.append(steps)
+        mean = sum(times) / len(times)
+        assert 5 < mean < 14  # expectation is 1 + 4 + 4 = 9
+
+
+class TestFoldedRegister:
+    def test_matches_direct_fold(self):
+        # Incrementally folded history must equal a from-scratch fold.
+        history_bits, folded_bits = 12, 5
+        fold = FoldedRegister(history_bits, folded_bits)
+        bits = []
+        rng = XorShift64(77)
+        for _ in range(200):
+            new_bit = rng.next_below(2)
+            outgoing = bits[-history_bits] if len(bits) >= history_bits else 0
+            fold.push(new_bit, outgoing)
+            bits.append(new_bit)
+            raw = 0
+            for bit in bits[-history_bits:]:
+                raw = (raw << 1) | bit
+            assert fold.value == fold_bits(raw, history_bits, folded_bits)
+
+
+class TestGlobalHistory:
+    def test_raw_window(self):
+        h = GlobalHistory()
+        for bit in (1, 0, 1, 1):
+            h.push(bit)
+        assert h.raw(4) == 0b1011
+
+    def test_snapshot_restore(self):
+        h = GlobalHistory()
+        h.register_fold(8, 4)
+        for bit in (1, 0, 1):
+            h.push(bit)
+        snap = h.snapshot()
+        h.push(1), h.push(1)
+        h.restore(snap)
+        assert h.raw(3) == 0b101
+        assert h.snapshot() == snap
+
+    def test_fold_registration_idempotent(self):
+        h = GlobalHistory()
+        h.register_fold(16, 6)
+        h.register_fold(16, 6)
+        h.push(1)
+        assert h.folded(16, 6) == 1
+
+    def test_fold_capacity_check(self):
+        h = GlobalHistory(capacity=32)
+        with pytest.raises(ValueError):
+            h.register_fold(64, 8)
+
+
+class TestPathHistory:
+    def test_push_and_restore(self):
+        p = PathHistory()
+        p.push(0x1004)
+        snap = p.snapshot()
+        p.push(0x1008)
+        p.restore(snap)
+        assert p.snapshot() == snap
+
+
+class TestStorage:
+    def test_report_totals(self):
+        report = StorageReport("x")
+        report.add("a", 1024)
+        report.add_entries("b", 16, 8)
+        assert report.total_bits == 1024 + 128
+        assert report.total_bytes == 144.0
+        assert "TOTAL" in report.render()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StorageReport("x").add("bad", -1)
+
+    def test_paper_fifo_sizes(self):
+        # §IV.B.2: 256 entries, 14-bit hash + 10-bit CSN = 768 bytes.
+        assert fifo_history_bits(256, 14, 10) / 8 == 768
+        # §VI.A.2: 128 entries = 384 bytes.
+        assert fifo_history_bits(128, 14, 10) / 8 == 384
+
+    def test_paper_isrb_size(self):
+        # §VI.B: 24 entries × (2 × 6-bit counters + 9-bit preg tag) = 63B.
+        assert isrb_bits(24, 6, 9) / 8 == 63
+
+    def test_hrf_bits(self):
+        assert hrf_bits(471, 14) == 471 * 14
+
+    def test_kib(self):
+        assert bits_to_kib(8 * 1024) == 1.0

@@ -1,0 +1,214 @@
+"""Tests for the memory hierarchy: caches, MSHRs, prefetchers, DRAM, TLBs."""
+
+import pytest
+
+from repro.memory.cache import Cache, LINE_SHIFT
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
+from repro.memory.tlb import PAGE_SHIFT, Tlb
+
+
+class TestCache:
+    def make(self, size=1024, ways=2, latency=4, mshrs=4):
+        return Cache("T", size, ways, latency, mshrs)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 3, 1)  # lines not divisible by ways
+
+    def test_hit_after_fill(self):
+        cache = self.make()
+        assert not cache.touch(5)
+        cache.fill(5)
+        assert cache.touch(5)
+
+    def test_lru_eviction(self):
+        cache = self.make(size=128, ways=1)  # 2 sets, direct mapped
+        cache.fill(0)
+        cache.fill(2)  # same set (even lines), evicts 0
+        assert not cache.present(0)
+        assert cache.present(2)
+
+    def test_lru_order_respected(self):
+        cache = self.make(size=256, ways=2)  # 2 sets, 2 ways
+        cache.fill(0)
+        cache.fill(2)
+        cache.touch(0)       # 0 becomes MRU
+        victim = cache.fill(4)
+        assert victim == 2   # LRU way evicted
+
+    def test_lookup_miss_then_pending_merge(self):
+        cache = self.make()
+        hit, delay = cache.lookup(9, cycle=0)
+        assert not hit and delay == 0
+        cache.start_miss(9, cycle=0, fill_latency=50)
+        hit, delay = cache.lookup(9, cycle=10)
+        assert hit and delay == 40  # merged onto the outstanding MSHR
+        assert cache.stats.mshr_merges == 1
+
+    def test_fill_completes_after_latency(self):
+        cache = self.make()
+        cache.lookup(9, 0)
+        cache.start_miss(9, 0, 50)
+        hit, delay = cache.lookup(9, 60)
+        assert hit and delay == 0
+
+    def test_mshr_full_stalls(self):
+        cache = self.make(mshrs=1)
+        cache.lookup(1, 0)
+        cache.start_miss(1, 0, 100)
+        cache.lookup(3, 0)
+        stall = cache.start_miss(3, 0, 100)
+        assert stall == 100  # waited for the single MSHR to free
+        assert cache.stats.mshr_stalls == 1
+
+    def test_dirty_tracking(self):
+        cache = self.make()
+        cache.fill(7, dirty=True)
+        assert cache.is_dirty(7)
+        cache2 = self.make(size=128, ways=1)
+        cache2.fill(0, dirty=True)
+        cache2.fill(2)  # evicts 0
+        assert not cache2.is_dirty(0)
+
+
+class TestStridePrefetcher:
+    def test_detects_constant_stride(self):
+        prefetcher = StridePrefetcher()
+        issued = []
+        for i in range(6):
+            issued = prefetcher.observe(0x100, 0x8000 + i * 64)
+        assert issued == [0x8000 + 6 * 64]
+
+    def test_no_prefetch_on_random(self):
+        prefetcher = StridePrefetcher()
+        from repro.common.rng import XorShift64
+
+        rng = XorShift64(1)
+        total = 0
+        for _ in range(100):
+            total += len(prefetcher.observe(0x100, rng.next_u64() & 0xFFFFF8))
+        assert total < 5
+
+    def test_capacity_eviction(self):
+        prefetcher = StridePrefetcher(entries=4)
+        for pc in range(10):
+            prefetcher.observe(pc << 2, 0x1000)
+        assert len(prefetcher._table) <= 4
+
+
+class TestStreamPrefetcher:
+    def test_ascending_stream(self):
+        prefetcher = StreamPrefetcher()
+        line = 0x8000
+        prefetcher.observe_miss(line << LINE_SHIFT)
+        issued = prefetcher.observe_miss((line + 1) << LINE_SHIFT)
+        assert issued == [(line + 2) << LINE_SHIFT]
+
+    def test_stream_capacity(self):
+        prefetcher = StreamPrefetcher(streams=2)
+        for base in range(10):
+            prefetcher.observe_miss((base * 1000) << LINE_SHIFT)
+        assert len(prefetcher._streams) <= 2
+
+
+class TestDram:
+    def test_row_hit_faster_than_conflict(self):
+        # Lines interleave across banks: same-bank neighbours are
+        # total_banks lines apart.
+        dram = DramModel(DramConfig())
+        bank_stride = 64 * DramConfig().total_banks
+        dram.access(0x0, 0)
+        hit = dram.access(bank_stride, 10_000)  # same bank, same row
+        conflict_addr = DramConfig().row_bytes * DramConfig().total_banks
+        conflict = dram.access(conflict_addr, 20_000)  # same bank, new row
+        assert hit < conflict
+        assert dram.row_hits >= 1 and dram.row_conflicts >= 1
+
+    def test_bank_queueing(self):
+        bank_stride = 64 * DramConfig().total_banks
+        dram = DramModel(DramConfig())
+        dram.access(0x0, 0)
+        queued = dram.access(bank_stride, 1)  # bank still busy
+        free = DramModel(DramConfig())
+        free.access(0x0, 0)
+        unqueued = free.access(bank_stride, 10_000)
+        assert queued > unqueued
+
+    def test_min_latency_close_to_paper(self):
+        # Table I: minimum read latency 36 ns.
+        dram = DramModel(DramConfig())
+        dram.access(0x0, 0)
+        hit_latency = dram.access(64 * DramConfig().total_banks, 10_000)
+        assert hit_latency == DramConfig().to_cycles(36.0)
+
+
+class TestTlb:
+    def test_hit_after_walk(self):
+        tlb = Tlb(4)
+        assert tlb.access(0x1000) == tlb.walk_penalty
+        assert tlb.access(0x1008) == 0  # same page
+
+    def test_capacity_and_lru(self):
+        tlb = Tlb(2)
+        tlb.access(0 << PAGE_SHIFT)
+        tlb.access(1 << PAGE_SHIFT)
+        tlb.access(0 << PAGE_SHIFT)      # refresh page 0
+        tlb.access(2 << PAGE_SHIFT)      # evicts page 1
+        assert tlb.access(0 << PAGE_SHIFT) == 0
+        assert tlb.access(1 << PAGE_SHIFT) > 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load(0x100, 0x8000, 0)          # cold miss + TLB walk
+        latency = hierarchy.load(0x100, 0x8000, 5000)
+        assert latency == MemoryConfig().l1d_latency
+
+    def test_miss_latency_ordering(self):
+        config = MemoryConfig(enable_prefetch=False)
+        hierarchy = MemoryHierarchy(config)
+        cold = hierarchy.load(0x100, 0x10_0000, 0)
+        warm = hierarchy.load(0x100, 0x10_0000, 100_000)
+        assert cold > config.l3_latency  # went to DRAM
+        assert warm == config.l1d_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = MemoryConfig(enable_prefetch=False)
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.load(0x1, 0x0, 0)
+        # Evict line 0 from L1 (32KB, 8 ways, 64 sets): fill the set.
+        cycle = 10_000
+        for way in range(9):
+            hierarchy.load(0x1, way * 64 * 64, cycle)
+            cycle += 1000
+        latency = hierarchy.load(0x1, 0x0, cycle + 10_000)
+        assert latency == config.l2_latency
+
+    def test_stride_prefetch_hides_misses(self):
+        with_prefetch = MemoryHierarchy(MemoryConfig(enable_prefetch=True))
+        without = MemoryHierarchy(MemoryConfig(enable_prefetch=False))
+        def total(hierarchy):
+            cycle, out = 0, 0
+            for i in range(200):
+                out += hierarchy.load(0x42, 0x40_0000 + i * 64, cycle)
+                cycle += 200
+            return out
+        assert total(with_prefetch) < total(without)
+
+    def test_store_marks_dirty(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.store(0x1, 0x9000, 0)
+        assert hierarchy.l1d.is_dirty(0x9000 >> LINE_SHIFT)
+
+    def test_instruction_fetch_path(self):
+        hierarchy = MemoryHierarchy()
+        bubble = hierarchy.fetch(0x1000, 0)
+        assert bubble > 0                       # cold
+        assert hierarchy.fetch(0x1000, 100_000) == 0  # warm

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bitops import fold_hash, mask64, to_signed64, from_signed64
+from repro.common.history import GlobalHistory
+from repro.common.rng import XorShift64
+from repro.core.fifo_history import FifoHistory
+from repro.core.sharing import ProducerWindow
+from repro.isa.registers import RegClass
+from repro.rename.free_list import FreeList
+from repro.rename.isrb import Isrb
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBitopsProperties:
+    @given(u64)
+    def test_fold_hash_in_range(self, value):
+        for bits in (8, 13, 14, 16):
+            assert 0 <= fold_hash(value, bits) < (1 << bits)
+
+    @given(u64)
+    def test_fold_hash_deterministic(self, value):
+        assert fold_hash(value, 14) == fold_hash(value, 14)
+
+    @given(u64, u64)
+    def test_equal_values_equal_hashes(self, a, b):
+        # No false negatives: the hash never misses a true equality.
+        if a == b:
+            assert fold_hash(a, 14) == fold_hash(b, 14)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_signed_round_trip(self, value):
+        assert to_signed64(from_signed64(value)) == value
+
+    @given(u64, u64)
+    def test_mask64_addition_closure(self, a, b):
+        assert 0 <= mask64(a + b) < (1 << 64)
+
+
+class TestFreeListProperties:
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_alloc_free_conservation(self, operations):
+        free_list = FreeList(64, 64)
+        allocated = []
+        for do_alloc in operations:
+            if do_alloc:
+                preg = free_list.allocate(RegClass.INT)
+                if preg is not None:
+                    allocated.append(preg)
+            elif allocated:
+                free_list.release(allocated.pop())
+        assert free_list.free_int + len(allocated) == 64
+        assert len(set(allocated)) == len(allocated)  # no duplicates
+
+
+class TestIsrbProperties:
+    @given(st.lists(st.sampled_from(["share", "deref", "unshare"]),
+                    max_size=300))
+    @settings(max_examples=60)
+    def test_never_negative_never_leaks(self, operations):
+        isrb = Isrb(entries=8)
+        live_refs = 0  # extra references we created and not yet removed
+        for operation in operations:
+            if operation == "share":
+                if isrb.share(7):
+                    live_refs += 1
+            elif operation == "deref" and isrb.is_shared(7):
+                isrb.dereference(7)
+            elif operation == "unshare" and isrb.is_shared(7):
+                entry = isrb.entry(7)
+                if entry is not None and entry.referenced > 0:
+                    isrb.unshare(7)
+                    live_refs -= 1
+            entry = isrb.entry(7)
+            if entry is not None:
+                assert entry.referenced >= 0
+                assert entry.committed >= 0
+        assert isrb.occupancy <= 8
+
+
+class TestFifoHistoryProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=2,
+                    max_size=200))
+    @settings(max_examples=60)
+    def test_find_matches_linear_scan(self, hashes):
+        history = FifoHistory(entries=32)
+        pushed = []
+        for value_hash in hashes:
+            # Oracle: youngest older producer with the same hash.
+            expected = None
+            for age, older in enumerate(reversed(pushed), start=1):
+                if age > 32:
+                    break
+                if older == value_hash:
+                    expected = age
+                    break
+            assert history.find(value_hash, max_distance=255) == expected
+            history.push(value_hash)
+            pushed.append(value_hash)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=5,
+                    max_size=100),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40)
+    def test_preferred_distance_only_returns_real_matches(
+        self, hashes, preferred
+    ):
+        history = FifoHistory(entries=16)
+        pushed = []
+        for value_hash in hashes:
+            found = history.find(
+                value_hash, max_distance=255, preferred_distance=preferred
+            )
+            if found is not None:
+                assert pushed[len(pushed) - found] == value_hash
+            history.push(value_hash)
+            pushed.append(value_hash)
+
+
+class TestProducerWindowProperties:
+    @given(st.lists(st.sampled_from(["push", "commit", "squash"]),
+                    max_size=300))
+    @settings(max_examples=60)
+    def test_fifo_discipline(self, operations):
+        window = ProducerWindow(capacity=16)
+        model = []
+        for operation in operations:
+            if operation == "push" and len(model) < 16:
+                op = object()
+                window.push(op)
+                model.append(op)
+            elif operation == "commit" and model:
+                window.retire_head(model.pop(0))
+            elif operation == "squash" and model:
+                window.squash_tail(model.pop())
+            assert len(window) == len(model)
+            for distance in range(1, len(model) + 1):
+                assert window.producer_at(distance) is model[-distance]
+
+
+class TestHistoryProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_folded_consistency_under_restores(self, bits):
+        from repro.common.bitops import fold_bits
+
+        history = GlobalHistory()
+        history.register_fold(16, 7)
+        snapshots = []
+        for index, bit in enumerate(bits):
+            if index % 7 == 3:
+                snapshots.append((history.snapshot(), history.raw(16)))
+            history.push(1 if bit else 0)
+        # Every snapshot restores exactly.
+        for snapshot, raw in snapshots:
+            history.restore(snapshot)
+            assert history.raw(16) == raw
+            assert history.folded(16, 7) == fold_bits(raw, 16, 7)
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_streams_reproducible(self, seed):
+        a, b = XorShift64(seed), XorShift64(seed)
+        assert [a.next_u64() for _ in range(5)] == [
+            b.next_u64() for _ in range(5)
+        ]
+
+    @given(st.integers(min_value=1, max_value=1 << 32))
+    def test_next_below_in_range(self, bound):
+        rng = XorShift64(1234)
+        for _ in range(20):
+            assert 0 <= rng.next_below(bound) < bound

@@ -1,0 +1,273 @@
+"""Tests for the RSEP core: hashing/HRF, FIFO history, DDT, producer
+window, validation queue and the RSEP unit."""
+
+import pytest
+
+from repro.backend.fu import IssuePorts, PortConfig
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.core.ddt import DistanceDependencyTable
+from repro.core.fifo_history import FifoHistory
+from repro.core.hashing import HashRegisterFile, hash_collision_rate
+from repro.core.rsep import RsepConfig, RsepUnit
+from repro.core.sharing import ProducerWindow
+from repro.core.validation import ValidationMode, ValidationQueue
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import FuClass, Opcode
+from repro.isa.registers import x
+
+
+class TestHashRegisterFile:
+    def test_hash_width(self):
+        hrf = HashRegisterFile(hash_bits=14)
+        assert 0 <= hrf.hash_value(0xDEAD_BEEF_1234_5678) < (1 << 14)
+
+    def test_storage_scales_with_registers(self):
+        small = HashRegisterFile(registers=100, hash_bits=14)
+        big = HashRegisterFile(registers=471, hash_bits=14)
+        assert big.storage_report().total_bits > small.storage_report().total_bits
+        assert big.storage_report().total_bits == 471 * 14
+
+    def test_collision_rate_improves_with_width(self):
+        rng = XorShift64(9)
+        values = [rng.next_u64() for _ in range(120)]
+        assert hash_collision_rate(values, 14) <= hash_collision_rate(values, 6)
+
+    def test_collision_rate_empty(self):
+        assert hash_collision_rate([], 14) == 0.0
+
+
+class TestFifoHistory:
+    def test_distance_to_most_recent_match(self):
+        history = FifoHistory(entries=16)
+        history.push(0xAA)
+        history.push(0xBB)
+        history.push(0xAA)
+        # Searching for 0xAA before pushing: most recent is 1 back.
+        assert history.find(0xAA, max_distance=255) == 1
+        assert history.find(0xBB, max_distance=255) == 2
+        assert history.find(0xCC, max_distance=255) is None
+
+    def test_preferred_distance_selected(self):
+        history = FifoHistory(entries=32)
+        history.push(0x11)            # distance 3 from the search point
+        history.push(0x22)
+        history.push(0x11)            # distance 1
+        found = history.find(0x11, max_distance=255, preferred_distance=3)
+        assert found == 3             # §VI.A.2: predicted distance wins
+        assert history.preferred_matches == 1
+
+    def test_window_limit(self):
+        history = FifoHistory(entries=4)
+        history.push(0x77)
+        for _ in range(5):
+            history.push(0x00)
+        assert history.find(0x77, max_distance=255) is None
+
+    def test_max_distance_limit(self):
+        history = FifoHistory(entries=64)
+        history.push(0x55)
+        for _ in range(10):
+            history.push(0x01)
+        assert history.find(0x55, max_distance=5) is None
+
+    def test_comparator_sufficiency(self):
+        history = FifoHistory()
+        for size in (2, 2, 4, 8):
+            history.record_commit_group(size)
+        assert history.comparator_sufficiency(4) == 0.75
+        assert history.comparator_sufficiency(8) == 1.0
+
+    def test_storage_paper_numbers(self):
+        assert FifoHistory(256, 14, 10).storage_report().total_bytes == 768
+        assert FifoHistory(128, 14, 10).storage_report().total_bytes == 384
+
+
+class TestDdt:
+    def test_only_most_recent_producer(self):
+        ddt = DistanceDependencyTable(log2_entries=14)
+        ddt.push(0x33)
+        ddt.push(0x44)
+        ddt.push(0x33)
+        # Unlike the FIFO, the DDT forgot the older 0x33.
+        assert ddt.find(0x33, max_distance=255) == 1
+        assert ddt.find(0x33, max_distance=255, preferred_distance=3) == 1
+
+    def test_collision_aliasing(self):
+        # Hash-indexed without tags: distinct hashes that alias the same
+        # entry displace each other (the DDT's noise, §VI.A.2).
+        ddt = DistanceDependencyTable(log2_entries=2)
+        ddt.push(0b0001)
+        ddt.push(0b0101)  # aliases entry 1 in a 4-entry table
+        assert ddt.find(0b0001, max_distance=255) == 1  # per-chance match
+
+    def test_empty(self):
+        ddt = DistanceDependencyTable()
+        assert ddt.find(0x1, max_distance=255) is None
+
+
+class TestProducerWindow:
+    def test_distance_indexing(self):
+        window = ProducerWindow(capacity=8)
+        ops = [object() for _ in range(4)]
+        for op in ops:
+            window.push(op)
+        assert window.producer_at(1) is ops[-1]
+        assert window.producer_at(4) is ops[0]
+
+    def test_out_of_window(self):
+        window = ProducerWindow(capacity=8)
+        window.push(object())
+        assert window.producer_at(2) is None
+        assert window.out_of_window == 1
+
+    def test_commit_and_squash_order_enforced(self):
+        window = ProducerWindow(capacity=8)
+        a, b = object(), object()
+        window.push(a), window.push(b)
+        with pytest.raises(ValueError):
+            window.retire_head(b)
+        with pytest.raises(ValueError):
+            window.squash_tail(a)
+        window.squash_tail(b)
+        window.retire_head(a)
+        assert len(window) == 0
+
+
+class _FakeOp:
+    def __init__(self, seq, fu=FuClass.INT_ALU, complete=5):
+        self.d = DynInst(seq, 0x1000 + seq * 4, Opcode.ADD, dest=x(1),
+                        src1=x(2), src2=x(3))
+        self.complete_cycle = complete
+        self.validation_done_cycle = None
+
+
+class TestValidationQueue:
+    def test_ideal_is_free(self):
+        queue = ValidationQueue(ValidationMode.IDEAL)
+        op = _FakeOp(1, complete=7)
+        queue.request(op)
+        assert op.validation_done_cycle == 7
+        assert len(queue) == 0
+
+    def test_reissue_waits_for_completion(self):
+        queue = ValidationQueue(ValidationMode.REISSUE_ANY_FU)
+        ports = IssuePorts(PortConfig())
+        op = _FakeOp(1, complete=10)
+        queue.request(op)
+        ports.new_cycle(5)
+        assert queue.issue_cycle(5, ports) == []
+        ports.new_cycle(10)
+        assert queue.issue_cycle(10, ports) == [op]
+        assert op.validation_done_cycle == 11
+
+    def test_port_exhaustion_delays(self):
+        queue = ValidationQueue(ValidationMode.REISSUE_ANY_FU)
+        ports = IssuePorts(PortConfig(issue_width=1))
+        first, second = _FakeOp(1, complete=0), _FakeOp(2, complete=0)
+        queue.request(first), queue.request(second)
+        ports.new_cycle(1)
+        issued = queue.issue_cycle(1, ports)
+        assert issued == [first]      # width 1: only the oldest fits
+        ports.new_cycle(2)
+        assert queue.issue_cycle(2, ports) == [second]
+        assert queue.delayed_cycles > 0
+
+    def test_squash_drops_pending(self):
+        queue = ValidationQueue(ValidationMode.REISSUE_LOCK_FU)
+        queue.request(_FakeOp(5, complete=3))
+        queue.squash(min_seq=4)
+        assert len(queue) == 0
+
+
+class TestRsepUnit:
+    def make(self, **overrides):
+        config_kwargs = dict(history_entries=128)
+        config_kwargs.update(overrides)
+        config = RsepConfig(**config_kwargs)
+        history, path = GlobalHistory(), PathHistory()
+        return RsepUnit(config, history, path, XorShift64(3))
+
+    def test_lookup_counts(self):
+        unit = self.make()
+        unit.lookup(0x1000)
+        assert unit.stats.lookups == 1
+
+    def test_commit_group_trains_to_confidence(self):
+        unit = self.make()
+        # Three producers per "cycle"; the middle one's value recurs at a
+        # stable distance of 3.
+        rng = XorShift64(5)
+        prediction = None
+        for _ in range(700):
+            ops = []
+            for lane, pc in enumerate((0x100, 0x200, 0x300)):
+                op = _FakeOp(0)
+                op.d = DynInst(0, pc, Opcode.ADD, dest=x(1), src1=x(2))
+                op.d.result = 0x1234 if pc == 0x200 else rng.next_u64()
+                op.dist_pred = unit.lookup(pc)
+                op.likely_candidate = False
+                op.producer = None
+                ops.append(op)
+            unit.observe_commit_group(ops)
+            prediction = unit.lookup(0x200)
+        assert prediction.use_pred
+        assert prediction.distance == 3
+
+    def test_sampling_mode_trains_likely_candidates(self):
+        unit = self.make(sampling=True)
+        producer_op = _FakeOp(0)
+        producer_op.d.result = 99
+        for _ in range(900):
+            op = _FakeOp(1)
+            op.d.result = 99
+            op.dist_pred = unit.lookup(op.d.pc)
+            op.likely_candidate = op.dist_pred.likely_candidate
+            op.producer = producer_op
+            unit.observe_commit_group([op])
+        assert unit.lookup(0x1004).use_pred
+
+    def test_gshare_variant(self):
+        unit = self.make(predictor_kind="gshare")
+        for _ in range(700):
+            op = _FakeOp(0)
+            op.d.result = 0x42
+            op.dist_pred = unit.lookup(op.d.pc)
+            op.likely_candidate = False
+            op.producer = None
+            unit.observe_commit_group([op])
+        assert unit.lookup(op.d.pc).use_pred
+
+    def test_ddt_pairing_variant(self):
+        unit = self.make(pairing="ddt")
+        assert unit.pairing.find(0x1, 255) is None
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(predictor_kind="nonsense")
+        with pytest.raises(ValueError):
+            self.make(pairing="nonsense")
+
+    def test_storage_report_realistic(self):
+        history, path = GlobalHistory(), PathHistory()
+        unit = RsepUnit(
+            RsepConfig.realistic(), history, path, XorShift64(1)
+        )
+        # §VI.B: ~10.8KB total (predictor 10.1KB + FIFO 384B + 224B).
+        assert unit.storage_report().total_kib == pytest.approx(10.7, abs=0.2)
+
+    def test_accuracy_accounting(self):
+        unit = self.make()
+        op = _FakeOp(0)
+        unit.on_commit_used(op, True)
+        unit.on_commit_used(op, False)
+        assert unit.stats.accuracy == 0.5
+
+    def test_presets(self):
+        ideal = RsepConfig.ideal()
+        realistic = RsepConfig.realistic()
+        assert ideal.validation == ValidationMode.IDEAL
+        assert not ideal.sampling
+        assert realistic.sampling
+        assert realistic.validation == ValidationMode.REISSUE_ANY_FU
+        assert realistic.history_entries == 128
