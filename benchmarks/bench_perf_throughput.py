@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Simulator-throughput benchmark: simulated KIPS, tracked in BENCH_perf.json.
+
+Full mode (default) measures baseline and rsep-realistic over the default
+window on the representative benchmark mix and writes ``BENCH_perf.json``
+(next to this script's repo root) recording per-cell KIPS, the aggregate
+per mechanism, the pinned seed-implementation reference, and a smoke
+reference for CI.
+
+``--smoke`` runs a single quick cell and exits non-zero if throughput
+regressed more than 30% against the smoke reference recorded in the
+committed ``BENCH_perf.json`` — the CI guard for the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_throughput.py
+    PYTHONPATH=src python benchmarks/bench_perf_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.perf import (
+    DEFAULT_BENCHMARKS,
+    measure_throughput,
+    render_report,
+)
+from repro.pipeline.config import MechanismConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
+
+#: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
+#: measured with this same protocol (default window, best-of-3 pipeline
+#: wall time, traces untimed) on the reference container.  These anchor
+#: the speedup-vs-seed figures recorded in BENCH_perf.json.
+SEED_REFERENCE_KIPS = {
+    "baseline": 31.83,
+    "rsep-realistic": 20.95,
+}
+SEED_REFERENCE_PER_BENCHMARK = {
+    "baseline": {
+        "mcf": 34.73, "astar": 12.21, "omnetpp": 38.66, "bzip2": 52.16,
+        "xalancbmk": 59.24, "gamess": 51.38, "lbm": 23.18, "hmmer": 61.86,
+    },
+    "rsep-realistic": {
+        "mcf": 22.52, "astar": 9.93, "omnetpp": 24.35, "bzip2": 30.06,
+        "xalancbmk": 30.83, "gamess": 28.17, "lbm": 16.79, "hmmer": 28.52,
+    },
+}
+
+SMOKE_BENCHMARK = "mcf"
+SMOKE_WARMUP = 1000
+SMOKE_MEASURE = 4000
+#: CI fails when smoke KIPS drops below this fraction of the recorded
+#: reference (>30% regression).
+SMOKE_TOLERANCE = 0.70
+
+
+def _mechanisms():
+    return [MechanismConfig.baseline(), MechanismConfig.rsep_realistic()]
+
+
+def run_full(repeats: int, json_path: Path) -> int:
+    report = measure_throughput(
+        benchmarks=DEFAULT_BENCHMARKS,
+        mechanisms=_mechanisms(),
+        repeats=repeats,
+    )
+    print(render_report(report))
+
+    smoke = measure_throughput(
+        benchmarks=(SMOKE_BENCHMARK,),
+        mechanisms=_mechanisms(),
+        warmup=SMOKE_WARMUP,
+        measure=SMOKE_MEASURE,
+        repeats=repeats,
+    )
+
+    payload = report.to_dict()
+    payload["seed_reference_kips"] = SEED_REFERENCE_KIPS
+    payload["seed_reference_per_benchmark"] = SEED_REFERENCE_PER_BENCHMARK
+    payload["speedup_vs_seed"] = {
+        name: round(report.aggregate_kips[name] / seed_kips, 2)
+        for name, seed_kips in SEED_REFERENCE_KIPS.items()
+        if name in report.aggregate_kips
+    }
+    payload["smoke"] = {
+        "benchmark": SMOKE_BENCHMARK,
+        "warmup": SMOKE_WARMUP,
+        "measure": SMOKE_MEASURE,
+        "tolerance": SMOKE_TOLERANCE,
+        "aggregate_kips": {
+            name: round(value, 2)
+            for name, value in smoke.aggregate_kips.items()
+        },
+    }
+    json_path.write_text(json.dumps(payload, indent=1) + "\n",
+                         encoding="utf-8")
+    print(f"\nspeedup vs seed: {payload['speedup_vs_seed']}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+def run_smoke(repeats: int, json_path: Path) -> int:
+    if not json_path.exists():
+        print(f"no {json_path.name}: run the full bench once to record "
+              "the smoke reference", file=sys.stderr)
+        return 2
+    recorded = json.loads(json_path.read_text(encoding="utf-8"))
+    smoke_ref = recorded.get("smoke")
+    if not smoke_ref:
+        print(f"{json_path.name} has no smoke section; re-run the full "
+              "bench", file=sys.stderr)
+        return 2
+
+    report = measure_throughput(
+        benchmarks=(smoke_ref["benchmark"],),
+        mechanisms=_mechanisms(),
+        warmup=smoke_ref["warmup"],
+        measure=smoke_ref["measure"],
+        repeats=repeats,
+    )
+    print(render_report(report))
+    tolerance = smoke_ref.get("tolerance", SMOKE_TOLERANCE)
+    failed = False
+    for name, reference in smoke_ref["aggregate_kips"].items():
+        current = report.aggregate_kips.get(name)
+        if current is None:
+            continue
+        floor = reference * tolerance
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(f"smoke {name}: {current:.1f} KIPS vs recorded "
+              f"{reference:.1f} (floor {floor:.1f}) -> {verdict}")
+        if current < floor:
+            failed = True
+    if failed:
+        print("smoke throughput regressed more than "
+              f"{(1 - tolerance) * 100:.0f}% — failing", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick run; fail on >30%% KIPS regression "
+                        "against BENCH_perf.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", type=Path, default=BENCH_JSON,
+                        help=f"report path (default {BENCH_JSON.name})")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.repeats, args.json)
+    return run_full(args.repeats, args.json)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

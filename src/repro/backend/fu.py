@@ -39,6 +39,16 @@ class IssuePorts:
 
     def __init__(self, config: PortConfig | None = None) -> None:
         self.config = config or PortConfig()
+        # Hot-path copies of the per-cycle port limits (avoids chasing
+        # self.config.* inside try_issue).
+        c = self.config
+        self._issue_width = c.issue_width
+        self._alu_count = c.alu_count
+        self._fp_count = c.fp_count
+        self._ldst_ports = c.ldst_ports
+        self._store_only_ports = c.store_only_ports
+        self._mul_per_cycle = c.mul_per_cycle
+        self._fpmul_per_cycle = c.fpmul_per_cycle
         self._cycle = -1
         self._total = 0
         self._alu = 0
@@ -67,6 +77,7 @@ class IssuePorts:
 
     @property
     def issued_this_cycle(self) -> int:
+        """Slots claimed this cycle (hot paths read ``_total`` directly)."""
         return self._total
 
     def _has_slot(self) -> bool:
@@ -76,48 +87,47 @@ class IssuePorts:
 
     def try_issue(self, fu: FuClass, cycle: int) -> bool:
         """Claim an issue slot + port for one instruction.  True on success."""
-        if not self._has_slot():
+        if self._total >= self._issue_width:
             return False
-        c = self.config
-        if fu in (FuClass.INT_ALU, FuClass.BRANCH, FuClass.NONE):
-            if self._alu >= c.alu_count:
+        if fu == FuClass.INT_ALU or fu == FuClass.BRANCH or fu == FuClass.NONE:
+            if self._alu >= self._alu_count:
                 return False
             self._alu += 1
-        elif fu == FuClass.INT_MUL:
-            if self._alu >= c.alu_count or self._mul >= c.mul_per_cycle:
+        elif fu == FuClass.MEM_LOAD:
+            if self._ldst >= self._ldst_ports:
                 return False
-            self._alu += 1
-            self._mul += 1
-        elif fu == FuClass.INT_DIV:
-            if self._alu >= c.alu_count or cycle < self._div_busy_until:
+            self._ldst += 1
+        elif fu == FuClass.MEM_STORE:
+            if self._store_only < self._store_only_ports:
+                self._store_only += 1
+            elif self._ldst < self._ldst_ports:
+                self._ldst += 1
+            else:
                 return False
-            self._alu += 1
-            self._div_busy_until = cycle + c.div_latency
         elif fu == FuClass.FP_ALU:
-            if self._fp >= c.fp_count:
+            if self._fp >= self._fp_count:
                 return False
             self._fp += 1
         elif fu == FuClass.FP_MUL:
-            if self._fp >= c.fp_count or self._fpmul >= c.fpmul_per_cycle:
+            if self._fp >= self._fp_count or self._fpmul >= self._fpmul_per_cycle:
                 return False
             self._fp += 1
             self._fpmul += 1
         elif fu == FuClass.FP_DIV:
-            if self._fp >= c.fp_count or cycle < self._fpdiv_busy_until:
+            if self._fp >= self._fp_count or cycle < self._fpdiv_busy_until:
                 return False
             self._fp += 1
-            self._fpdiv_busy_until = cycle + c.fpdiv_latency
-        elif fu == FuClass.MEM_LOAD:
-            if self._ldst >= c.ldst_ports:
+            self._fpdiv_busy_until = cycle + self.config.fpdiv_latency
+        elif fu == FuClass.INT_MUL:
+            if self._alu >= self._alu_count or self._mul >= self._mul_per_cycle:
                 return False
-            self._ldst += 1
-        elif fu == FuClass.MEM_STORE:
-            if self._store_only < c.store_only_ports:
-                self._store_only += 1
-            elif self._ldst < c.ldst_ports:
-                self._ldst += 1
-            else:
+            self._alu += 1
+            self._mul += 1
+        elif fu == FuClass.INT_DIV:
+            if self._alu >= self._alu_count or cycle < self._div_busy_until:
                 return False
+            self._alu += 1
+            self._div_busy_until = cycle + self.config.div_latency
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown FU class {fu!r}")
         self._total += 1

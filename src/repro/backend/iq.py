@@ -2,9 +2,14 @@
 
 The IQ holds dispatched-but-not-issued instructions.  Selection is
 oldest-first among ready instructions, bounded by issue ports.  The
-readiness predicate itself lives in the pipeline (it touches register
-ready times, LSQ state and RSEP validation ordering); the IQ provides
-bounded storage and ordered iteration.
+readiness predicate and the event-driven wakeup machinery live in the
+pipeline (they touch register ready times, LSQ state and RSEP validation
+ordering); the IQ provides bounded storage and ordered iteration.
+
+Removal is O(1) amortised: issued entries are tombstoned in place (the
+entry list keeps age order, with a side index from entry identity to
+position) and the list is compacted only when tombstones dominate, which
+eliminates the per-cycle full-list rebuilds of the original scheduler.
 """
 
 from __future__ import annotations
@@ -17,35 +22,57 @@ class IssueQueue:
         if capacity <= 0:
             raise ValueError("IQ needs at least one entry")
         self.capacity = capacity
-        self._entries: list = []
+        self._entries: list = []       # age order; None marks a tombstone
+        self._positions: dict[int, int] = {}  # id(op) -> index in _entries
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live
 
     def __iter__(self):
         """Oldest-first iteration (entries are inserted in age order)."""
-        return iter(self._entries)
+        return (op for op in self._entries if op is not None)
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return self._live >= self.capacity
 
     def insert(self, op) -> None:
-        if self.full:
+        if self._live >= self.capacity:
             raise OverflowError("IQ overflow")
+        self._positions[id(op)] = len(self._entries)
         self._entries.append(op)
+        self._live += 1
 
     def remove_issued(self, issued: list) -> None:
         """Drop the instructions selected this cycle."""
         if not issued:
             return
-        issued_set = set(map(id, issued))
-        self._entries = [
-            op for op in self._entries if id(op) not in issued_set
-        ]
+        entries = self._entries
+        positions = self._positions
+        for op in issued:
+            index = positions.pop(id(op), None)
+            if index is not None and entries[index] is op:
+                entries[index] = None
+                self._live -= 1
+        if len(entries) > 2 * self._live + 16:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._entries = [op for op in self._entries if op is not None]
+        self._positions = {
+            id(op): index for index, op in enumerate(self._entries)
+        }
 
     def squash(self, predicate) -> int:
         """Drop entries matching *predicate*; returns how many."""
-        before = len(self._entries)
-        self._entries = [op for op in self._entries if not predicate(op)]
-        return before - len(self._entries)
+        before = self._live
+        self._entries = [
+            op for op in self._entries
+            if op is not None and not predicate(op)
+        ]
+        self._positions = {
+            id(op): index for index, op in enumerate(self._entries)
+        }
+        self._live = len(self._entries)
+        return before - self._live

@@ -10,6 +10,11 @@ from __future__ import annotations
 MASK64 = (1 << 64) - 1
 MASK32 = (1 << 32) - 1
 
+#: Cache-line geometry (64-byte lines, Table I).  Canonical home so both
+#: the memory hierarchy and the trace builder (which precomputes each
+#: instruction's line index) agree without a layering inversion.
+LINE_SHIFT = 6
+
 #: Hash width used by the paper (deliberately not a power of two so that
 #: common values such as 0x0 and -1 do not collide, §IV.A).
 DEFAULT_HASH_BITS = 14

@@ -53,7 +53,10 @@ class GlobalHistory:
     checkpoint/restore on squash needs.
     """
 
-    __slots__ = ("_bits", "_capacity", "_mask", "_folds")
+    __slots__ = (
+        "_bits", "_capacity", "_mask", "_folds", "_fold_hot",
+        "_push_fast", "_push_dirty",
+    )
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
@@ -62,6 +65,11 @@ class GlobalHistory:
         self._capacity = capacity
         self._mask = (1 << capacity) - 1
         self._folds: dict[tuple[int, int], FoldedRegister] = {}
+        # Per-fold constants for the inlined push loop:
+        # (register, history_bits - 1, folded_bits - 1, mask, out_position).
+        self._fold_hot: list[tuple] = []
+        self._push_fast = None
+        self._push_dirty = True
 
     @property
     def capacity(self) -> int:
@@ -75,19 +83,68 @@ class GlobalHistory:
             )
         key = (history_bits, folded_bits)
         if key not in self._folds:
-            self._folds[key] = FoldedRegister(history_bits, folded_bits)
+            fold = FoldedRegister(history_bits, folded_bits)
+            self._folds[key] = fold
+            self._fold_hot.append((
+                fold,
+                history_bits - 1,
+                folded_bits - 1,
+                (1 << folded_bits) - 1,
+                fold._out_position,
+            ))
+            self._push_dirty = True
 
     def push(self, bit: int) -> None:
-        """Record one branch outcome (1 = taken)."""
-        bit &= 1
-        for (history_bits, _), fold in self._folds.items():
-            outgoing = (self._bits >> (history_bits - 1)) & 1 if history_bits else 0
-            fold.push(bit, outgoing)
-        self._bits = ((self._bits << 1) | bit) & self._mask
+        """Record one branch outcome (1 = taken).
+
+        The per-fold update (see :meth:`FoldedRegister.push`) runs once
+        per fetched branch over every registered geometry — one of the
+        simulator's hottest loops, so it is code-generated fully unrolled
+        (regenerated whenever a new fold is registered).
+        """
+        if self._push_dirty:
+            self._push_fast = self._build_fast_push()
+            self._push_dirty = False
+        self._push_fast(bit)
+
+    def _build_fast_push(self):
+        """Generate the unrolled push body for the registered folds."""
+        env = {"_h": self}
+        lines = [
+            "def fast_push(bit):",
+            "    bit &= 1",
+            "    bits = _h._bits",
+        ]
+        for j, (fold, shift_out, fold_top, mask, out_position) in enumerate(
+                self._fold_hot):
+            env[f"_f{j}"] = fold
+            lines += [
+                f"    v = _f{j}.value",
+                f"    n = ((v << 1) | bit) & {mask}",
+                f"    n ^= (v >> {fold_top}) & 1",
+            ]
+            if shift_out >= 0:
+                lines.append(
+                    f"    n ^= ((bits >> {shift_out}) & 1) << {out_position}"
+                )
+            lines.append(f"    _f{j}.value = n")
+        lines.append(f"    _h._bits = ((bits << 1) | bit) & {self._mask}")
+        exec("\n".join(lines), env)  # noqa: S102 - static template, no input
+        return env["fast_push"]
 
     def folded(self, history_bits: int, folded_bits: int) -> int:
         """Return the folded value for a registered geometry."""
         return self._folds[(history_bits, folded_bits)].value
+
+    def fold_register(self, history_bits: int,
+                      folded_bits: int) -> FoldedRegister:
+        """The live :class:`FoldedRegister` for a registered geometry.
+
+        The register object is stable for the lifetime of the history
+        (push/restore/reset mutate it in place), so indexers may cache the
+        reference and read ``.value`` directly on their hot path.
+        """
+        return self._folds[(history_bits, folded_bits)]
 
     def raw(self, bits: int) -> int:
         """Return the youngest *bits* bits of raw history."""

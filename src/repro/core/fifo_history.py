@@ -55,15 +55,20 @@ class FifoHistory:
     def push(self, value_hash: int) -> int:
         """Record one committed producer; returns its producer index."""
         index = self._count
-        self._count += 1
-        bucket = self._positions.get(value_hash)
+        self._count = index + 1
+        positions = self._positions
+        bucket = positions.get(value_hash)
         if bucket is None:
-            bucket = deque()
-            self._positions[value_hash] = bucket
+            positions[value_hash] = deque((index,))
+            return index
         bucket.append(index)
-        # Keep buckets trimmed so no bucket exceeds the window by much.
-        while bucket and self._count - bucket[0] > self.entries:
-            bucket.popleft()
+        # Keep buckets trimmed so no bucket exceeds the window by much;
+        # the bucket is never empty here (we just appended), so only the
+        # age bound needs checking.
+        oldest_live = index + 1 - self.entries
+        popleft = bucket.popleft
+        while bucket[0] < oldest_live:
+            popleft()
         return index
 
     def find(
@@ -83,9 +88,10 @@ class FifoHistory:
         if not bucket:
             return None
         limit = min(self.entries, max_distance)
+        count = self._count
         best: int | None = None
         for index in reversed(bucket):
-            distance = self._count - index
+            distance = count - index
             if distance > limit:
                 break
             if best is None:

@@ -124,6 +124,8 @@ class RsepUnit:
         else:
             raise ValueError(f"unknown pairing {config.pairing!r}")
         self.hrf = HashRegisterFile(hash_bits=config.hash_bits)
+        self._hash_bits = config.hash_bits
+        self._hash_mask = (1 << config.hash_bits) - 1
         self.stats = RsepStats()
 
     # ------------------------------------------------------------------
@@ -158,36 +160,47 @@ class RsepUnit:
         """
         if not producers:
             return
-        self.pairing.record_commit_group(len(producers))
+        pairing = self.pairing
+        pairing.record_commit_group(len(producers))
 
+        sampling = self.config.sampling
         selected = None
-        if self.config.sampling:
+        if sampling:
             candidates = [op for op in producers if op.dist_pred is not None]
             if candidates:
                 selected = candidates[self._rng.next_below(len(candidates))]
 
+        # Inlined fold hash (repro.common.bitops.fold_hash) — results are
+        # already masked to 64 bits by the interpreter.
+        hash_bits = self._hash_bits
+        hash_mask = self._hash_mask
+        self.hrf.reads += len(producers)  # one commit-side read each
+        predictor = self.predictor
+        pairing_push = pairing.push
+        max_distance = self.max_distance
         for op in producers:
-            value_hash = self.hrf.hash_value(op.d.result)
-            self.hrf.record_commit_read()
+            value = op.d.result
+            value_hash = 0
+            while value:
+                value_hash ^= value & hash_mask
+                value >>= hash_bits
             prediction = op.dist_pred
             if prediction is not None:
-                if not self.config.sampling:
-                    observed = self.pairing.find(
+                if not sampling:
+                    observed = pairing.find(
                         value_hash,
-                        self.max_distance,
+                        max_distance,
                         prediction.distance if prediction.distance else None,
                     )
-                    self.predictor.train_from_pairing(prediction, observed)
+                    predictor.train_from_pairing(prediction, observed)
                 elif op is selected:
-                    observed = self.pairing.find(
-                        value_hash, self.max_distance, None
-                    )
-                    self.predictor.train_from_pairing(prediction, observed)
+                    observed = pairing.find(value_hash, max_distance, None)
+                    predictor.train_from_pairing(prediction, observed)
                 elif op.likely_candidate and op.producer is not None:
-                    self.predictor.train_from_validation(
+                    predictor.train_from_validation(
                         prediction, op.d.result == op.producer.d.result
                     )
-            self.pairing.push(value_hash)
+            pairing_push(value_hash)
 
     def on_commit_used(self, op, correct: bool) -> None:
         """Accounting for a committed (or squashing) confident prediction."""

@@ -22,7 +22,6 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.backend.fu import IssuePorts
-from repro.isa.opcodes import FuClass
 
 
 class ValidationMode(Enum):
@@ -72,7 +71,7 @@ class ValidationQueue:
         for op in self._pending:
             if op.complete_cycle is None or op.complete_cycle > cycle:
                 continue
-            fu = FuClass(op.d.fu)
+            fu = op.d.fu  # already a FuClass (precomputed at trace build)
             if not ports.try_issue_validation(fu, cycle, lock):
                 break  # ports exhausted this cycle; keep priority order
             op.validation_done_cycle = cycle + 1

@@ -26,7 +26,7 @@ from repro.isa.instruction import DynInst
 from repro.isa.program import INSTR_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchOutcome:
     """What fetching one branch did, kept with the in-flight instruction."""
 

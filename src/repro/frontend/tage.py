@@ -55,7 +55,7 @@ class TageConfig:
         ]
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchPrediction:
     """Everything commit needs to train the entries that predicted."""
 

@@ -1,0 +1,256 @@
+"""Simulator-throughput measurement: simulated KIPS per mechanism config.
+
+The unit is **simulated kilo-instructions per second** (KIPS): how many
+thousand committed-path instructions the timing model replays per second
+of wall clock.  Throughput is what caps measurement windows (see
+DESIGN.md §4) — the figure benches all funnel through ``Pipeline.run``,
+so KIPS directly bounds how many checkpoints and how large a window every
+experiment can afford.
+
+Protocol:
+
+* the functional trace is built (and timed) once per benchmark, outside
+  the timed region — KIPS measures the *timing model* only;
+* each (benchmark, mechanism) cell runs ``repeats`` times on a fresh
+  :class:`Pipeline` and keeps the fastest run (the standard robust
+  estimator under scheduler noise);
+* the aggregate per mechanism is total simulated instructions over total
+  (best) wall time across benchmarks, which weights slow benchmarks
+  honestly.
+
+Run as a CLI::
+
+    python -m repro.harness.perf --benchmark mcf --mechanism rsep-realistic
+    python -m repro.harness.perf --json perf.json --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.core import Pipeline
+from repro.pipeline.simulator import (
+    _TRACE_SLACK,  # match Simulator.run_benchmark's trace sizing exactly
+    Simulator,
+    default_windows,
+)
+
+#: Benchmarks the throughput bench exercises by default: a spread of
+#: memory-bound (mcf, astar, omnetpp), branchy-integer (bzip2,
+#: xalancbmk, hmmer) and wide-FP (gamess, lbm) behaviour.
+DEFAULT_BENCHMARKS: tuple[str, ...] = (
+    "mcf", "astar", "omnetpp", "bzip2",
+    "xalancbmk", "gamess", "lbm", "hmmer",
+)
+
+#: Mechanism presets addressable from the CLI.
+MECHANISM_PRESETS = {
+    "baseline": MechanismConfig.baseline,
+    "zero_pred": MechanismConfig.zero_prediction,
+    "move_elim": MechanismConfig.move_elimination,
+    "rsep": MechanismConfig.rsep_ideal,
+    "vpred": MechanismConfig.value_prediction,
+    "rsep+vpred": MechanismConfig.rsep_plus_vp,
+    "rsep-realistic": MechanismConfig.rsep_realistic,
+}
+
+
+def mechanism_by_name(name: str) -> MechanismConfig:
+    """Resolve a CLI mechanism name to its preset config."""
+    try:
+        return MECHANISM_PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; choose from "
+            f"{sorted(MECHANISM_PRESETS)}"
+        ) from None
+
+
+@dataclass
+class PerfSample:
+    """Throughput of one (benchmark, mechanism) cell."""
+
+    benchmark: str
+    mechanism: str
+    seed: int
+    warmup: int
+    measure: int
+    wall_seconds: float        # best-of-repeats pipeline wall time
+    kips: float                # (warmup + measure) / wall / 1000
+    ipc: float
+    cycles: int
+    trace_build_seconds: float
+
+
+@dataclass
+class PerfReport:
+    """All samples of one measurement session plus per-mechanism KIPS."""
+
+    warmup: int
+    measure: int
+    repeats: int
+    samples: list[PerfSample] = field(default_factory=list)
+    #: mechanism name -> aggregate KIPS (total instructions / total wall).
+    aggregate_kips: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": "simulated kilo-instructions per second (KIPS)",
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "repeats": self.repeats,
+            "aggregate_kips": {
+                name: round(value, 2)
+                for name, value in self.aggregate_kips.items()
+            },
+            "samples": [asdict(sample) for sample in self.samples],
+        }
+
+
+def measure_throughput(
+    benchmarks=DEFAULT_BENCHMARKS,
+    mechanisms: list[MechanismConfig] | None = None,
+    warmup: int | None = None,
+    measure: int | None = None,
+    seed: int = 1,
+    repeats: int = 3,
+    core_config: CoreConfig | None = None,
+) -> PerfReport:
+    """Measure simulated KIPS for every benchmark × mechanism cell."""
+    if mechanisms is None:
+        mechanisms = [
+            MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
+        ]
+    if warmup is None or measure is None:
+        default_warmup, default_measure = default_windows()
+        warmup = default_warmup if warmup is None else warmup
+        measure = default_measure if measure is None else measure
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+
+    simulator = Simulator(core_config)
+    instructions = warmup + measure
+    report = PerfReport(warmup=warmup, measure=measure, repeats=repeats)
+
+    for mechanism in mechanisms:
+        total_wall = 0.0
+        total_instructions = 0
+        for benchmark in benchmarks:
+            build_start = time.perf_counter()
+            trace = simulator.trace_for(
+                benchmark, seed, instructions + _TRACE_SLACK
+            )
+            trace_build = time.perf_counter() - build_start
+
+            best_wall = None
+            stats = None
+            simulated = instructions
+            for _ in range(repeats):
+                pipeline = Pipeline(
+                    trace, simulator.core_config, mechanism, seed
+                )
+                start = time.perf_counter()
+                stats = pipeline.run(measure, warmup)
+                wall = time.perf_counter() - start
+                # The run can end early if the trace halts before the
+                # window fills; count what was actually simulated.
+                simulated = pipeline.total_committed
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+            report.samples.append(PerfSample(
+                benchmark=benchmark,
+                mechanism=mechanism.name,
+                seed=seed,
+                warmup=warmup,
+                measure=measure,
+                wall_seconds=round(best_wall, 4),
+                kips=round(simulated / best_wall / 1000.0, 2),
+                ipc=round(stats.ipc, 4),
+                cycles=stats.cycles,
+                trace_build_seconds=round(trace_build, 4),
+            ))
+            total_wall += best_wall
+            total_instructions += simulated
+        report.aggregate_kips[mechanism.name] = (
+            total_instructions / total_wall / 1000.0
+        )
+    return report
+
+
+def render_report(report: PerfReport) -> str:
+    """Human-readable table of one report."""
+    lines = [
+        f"simulated-throughput (warmup {report.warmup}, "
+        f"measure {report.measure}, best of {report.repeats})",
+        f"{'benchmark':<12} {'mechanism':<16} {'KIPS':>9} "
+        f"{'IPC':>7} {'wall s':>8}",
+    ]
+    for sample in report.samples:
+        lines.append(
+            f"{sample.benchmark:<12} {sample.mechanism:<16} "
+            f"{sample.kips:>9.1f} {sample.ipc:>7.3f} "
+            f"{sample.wall_seconds:>8.3f}"
+        )
+    for name, kips in report.aggregate_kips.items():
+        lines.append(f"aggregate    {name:<16} {kips:>9.1f}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.perf",
+        description="Measure simulated KIPS for benchmark/mechanism cells.",
+    )
+    parser.add_argument(
+        "--benchmark", action="append", dest="benchmarks", metavar="NAME",
+        help="benchmark to measure (repeatable; default: a representative "
+        f"mix of {len(DEFAULT_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--mechanism", action="append", dest="mechanisms", metavar="NAME",
+        choices=sorted(MECHANISM_PRESETS),
+        help="mechanism preset (repeatable; default: baseline and "
+        "rsep-realistic)",
+    )
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warm-up instructions (default: REPRO_WARMUP)")
+    parser.add_argument("--measure", type=int, default=None,
+                        help="measured instructions (default: REPRO_MEASURE)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per cell; best is kept")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report as JSON to PATH "
+                        "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    mechanisms = None
+    if args.mechanisms:
+        mechanisms = [mechanism_by_name(name) for name in args.mechanisms]
+    report = measure_throughput(
+        benchmarks=tuple(args.benchmarks) if args.benchmarks
+        else DEFAULT_BENCHMARKS,
+        mechanisms=mechanisms,
+        warmup=args.warmup,
+        measure=args.measure,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(render_report(report))
+    if args.json == "-":
+        json.dump(report.to_dict(), sys.stdout, indent=1)
+        print()
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ to resolve every speculation against ground truth.
 
 from __future__ import annotations
 
+from repro.common.bitops import LINE_SHIFT
 from repro.isa.opcodes import FuClass, OP_INFO, Opcode
 from repro.isa.registers import XZR, reg_name
 
@@ -132,6 +133,8 @@ class DynInst:
         "target_pc",    # taken-path target PC (branches only)
         "zero_idiom",   # front-end-visible zero idiom (never speculated on)
         "move",         # move-elimination candidate
+        "line",         # cache-line index of pc (precomputed for fetch)
+        "eligible",     # rsep_eligible(), precomputed at trace build
     )
 
     def __init__(
@@ -171,6 +174,13 @@ class DynInst:
         self.target_pc = target_pc
         self.zero_idiom = zero_idiom
         self.move = move
+        self.line = pc >> LINE_SHIFT
+        self.eligible = (
+            dest != NO_REG
+            and dest != XZR
+            and not info.is_branch
+            and not zero_idiom
+        )
 
     def produces_result(self) -> bool:
         """True iff the instruction writes an architectural register.
@@ -187,11 +197,7 @@ class DynInst:
         front-end already eliminates non-speculatively (zero idioms, moves —
         the latter are handled by move elimination when RSEP is on).
         """
-        return (
-            self.produces_result()
-            and not self.is_branch
-            and not self.zero_idiom
-        )
+        return self.eligible
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-LINE_SHIFT = 6  # 64-byte lines (Table I)
+from repro.common.bitops import LINE_SHIFT  # 64-byte lines (Table I)
+
+__all__ = ["LINE_SHIFT", "Cache", "CacheStats"]
 
 
 @dataclass
@@ -70,19 +72,15 @@ class Cache:
 
     # ------------------------------------------------------------------
 
-    def _locate(self, line: int) -> tuple[list[int], int]:
-        return self._tags[line & self._set_mask], line
-
     def present(self, line: int) -> bool:
         """True iff *line* is resident (no LRU update)."""
-        ways, tag = self._locate(line)
-        return tag in ways
+        return line in self._tags[line & self._set_mask]
 
     def touch(self, line: int) -> bool:
         """Probe for *line*; promotes to MRU on hit.  Returns hit flag."""
-        ways, tag = self._locate(line)
+        ways = self._tags[line & self._set_mask]
         try:
-            position = ways.index(tag)
+            position = ways.index(line)
         except ValueError:
             return False
         if position:
@@ -92,7 +90,8 @@ class Cache:
     def fill(self, line: int, dirty: bool = False,
              prefetch: bool = False) -> int | None:
         """Install *line*; returns the victim line if one was evicted."""
-        ways, tag = self._locate(line)
+        ways = self._tags[line & self._set_mask]
+        tag = line
         victim = None
         if tag in ways:
             ways.remove(tag)
@@ -117,11 +116,17 @@ class Cache:
     # ------------------------------------------------------------------
 
     def _prune_pending(self, cycle: int) -> None:
-        if not self._pending:
+        pending = self._pending
+        if not pending:
             return
-        done = [line for line, ready in self._pending.items() if ready <= cycle]
-        for line in done:
-            del self._pending[line]
+        for ready in pending.values():
+            if ready <= cycle:
+                done = [
+                    line for line, fill in pending.items() if fill <= cycle
+                ]
+                for line in done:
+                    del pending[line]
+                return
 
     def lookup(self, line: int, cycle: int) -> tuple[bool, int]:
         """Access *line* at *cycle*.

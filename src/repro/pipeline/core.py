@@ -12,11 +12,30 @@ prescribes (commit-time validation, full flush).
 Stage order within a cycle is commit → issue → rename → fetch, which
 enforces the usual one-cycle minimum between dispatch and issue and between
 writeback and commit.
+
+Scheduling is event-driven (see DESIGN.md §3): instead of re-evaluating
+operand readiness for every IQ entry on every cycle, each dispatched
+instruction is parked on the structure that will produce its wakeup —
+
+* a per-preg waiter list while a source's completion cycle is unknown
+  (its producer has not issued yet);
+* a wakeup map keyed by completion cycle once every source's ready time
+  is known;
+* the ready list (kept oldest-first) once it can actually issue.
+
+Loads additionally depend on LSQ state (store-set dependences, same-word
+blocking stores, forwarding timing), which is not a pure function of
+completion times, so a register-ready load stays in the ready list and has
+those conditions re-checked each cycle — exactly the conditions the old
+poll-everything scheduler evaluated, on a far smaller set of candidates.
+Selection order, port arbitration and all readiness predicates are
+unchanged, which is what keeps statistics bit-identical.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.backend.fu import IssuePorts
 from repro.backend.iq import IssueQueue
@@ -33,7 +52,6 @@ from repro.frontend.branch_unit import BranchUnit
 from repro.isa.instruction import DynInst, NO_REG
 from repro.isa.opcodes import FuClass
 from repro.isa.registers import reg_class
-from repro.memory.cache import LINE_SHIFT
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.stats import Stats
@@ -46,6 +64,11 @@ from repro.rename.zero_idiom import ZeroIdiomEliminator
 from repro.workloads.trace import Trace
 
 _INF = 1 << 60
+
+
+def _op_seq(op) -> int:
+    """Sort key: age order == trace sequence order."""
+    return op.d.seq
 
 
 class PipelineError(RuntimeError):
@@ -68,6 +91,7 @@ class InflightOp:
         "executed", "validation_done_cycle", "retained",
         "store_dep", "forward_from",
         "committed", "squashed",
+        "waiters",
     )
 
     def __init__(self, d: DynInst, trace_index: int, fetch_cycle: int,
@@ -103,6 +127,9 @@ class InflightOp:
         self.forward_from = None
         self.committed = False
         self.squashed = False
+        # Scheduler subscribers: ops whose issue eligibility becomes
+        # computable once this op's completion cycle is known.
+        self.waiters = None
 
     @property
     def validation_required(self) -> bool:
@@ -169,7 +196,20 @@ class Pipeline:
         self.producer_window = ProducerWindow(c.rob_entries)
         self.stats = Stats()
 
-        self._reg_ready: dict[int, int] = {}
+        # Known ready cycle per physical register, indexed by preg id
+        # (INT pool, then FP pool, then the hardwired zero register).
+        # _INF encodes "producer has not issued yet".
+        self._reg_ready: list[int] = [0] * (c.int_pregs + c.fp_pregs + 1)
+        # Event-driven scheduler state (see module docstring).
+        self._ready: list[InflightOp] = []
+        self._ready_dirty = False
+        self._wakeup: dict[int, list[InflightOp]] = {}
+        # Min-heap of wakeup cycles with lazy deletion (keys stay behind
+        # after their bucket is drained); gives O(1)-ish "next wakeup"
+        # queries to the idle fast-forward.
+        self._wakeup_heap: list[int] = []
+        self._preg_waiters: dict[int, list[InflightOp]] = {}
+
         self._fetch_buffer: deque[InflightOp] = deque()
         self._cursor = 0
         self._next_fetch_cycle = 0
@@ -193,6 +233,11 @@ class Pipeline:
             self._step()
         return self.stats
 
+    @property
+    def total_committed(self) -> int:
+        """Instructions committed since construction (warm-up included)."""
+        return self._total_committed
+
     def _finished(self) -> bool:
         return (
             self._cursor >= len(self.trace)
@@ -201,6 +246,8 @@ class Pipeline:
         )
 
     def _step(self) -> None:
+        if not self._ready:
+            self._fast_forward_idle()
         cycle = self.cycle
         self._commit(cycle)
         self._issue(cycle)
@@ -216,21 +263,142 @@ class Pipeline:
                 f"{self.rob.head().d if not self.rob.empty else None})"
             )
 
+    def _fast_forward_idle(self) -> None:
+        """Skip cycles during which no pipeline stage can change state.
+
+        Every state change is tied to a knowable future cycle: the ROB
+        head's completion/validation, a scheduler wakeup, a validation
+        µ-op becoming eligible, fetch resuming, or the fetch-buffer head
+        becoming rename-ready.  When the ready list is empty and every
+        such event lies in the future, the intervening cycles only tick
+        counters — so tick them in one step and jump to the next event.
+        Per-cycle rename-stall accounting (the capacity-blocked cause
+        cannot change while no event fires) is preserved exactly.
+        """
+        cycle = self.cycle
+        nxt = _INF
+        rob = self.rob
+        if not rob.empty:
+            head = rob.head()
+            t = head.complete_cycle
+            if t is not None:
+                event = t + 1
+                if head.validation_required:
+                    v = head.validation_done_cycle
+                    if v is None:
+                        # Gated on a validation µ-op that has not issued;
+                        # its eligibility is an event below.
+                        event = _INF
+                    elif v + 1 > event:
+                        event = v + 1
+                if event < nxt:
+                    nxt = event
+        validation_queue = self.validation_queue
+        if len(validation_queue):
+            for op in validation_queue._pending:
+                t = op.complete_cycle
+                if t is not None and t < nxt:
+                    nxt = t
+        wakeup = self._wakeup
+        if wakeup:
+            heap = self._wakeup_heap
+            while heap and heap[0] not in wakeup:
+                heappop(heap)  # stale key: bucket already drained
+            if heap and heap[0] < nxt:
+                nxt = heap[0]
+        c = self.config
+        fetch_buffer = self._fetch_buffer
+        if (
+            self._cursor < len(self.trace)
+            and len(fetch_buffer) < c.fetch_buffer_size
+        ):
+            stalled = self._fetch_stalled_by
+            if stalled is None:
+                t = self._next_fetch_cycle
+                if t < nxt:
+                    nxt = t
+            elif stalled.complete_cycle is not None:
+                t = stalled.complete_cycle + c.redirect_delay
+                if t < self._next_fetch_cycle:
+                    t = self._next_fetch_cycle
+                if t < nxt:
+                    nxt = t
+            # else: fetch waits on an unissued branch — covered by the
+            # scheduler events above.
+        stall_field = None
+        if fetch_buffer:
+            head = fetch_buffer[0]
+            if head.rename_ready_cycle > cycle:
+                if head.rename_ready_cycle < nxt:
+                    nxt = head.rename_ready_cycle
+            else:
+                d = head.d
+                if rob.full:
+                    stall_field = "stall_rob"
+                elif d.fu != FuClass.NONE and self.iq.full:
+                    stall_field = "stall_iq"
+                elif d.is_load and self.lsq.lq_full:
+                    stall_field = "stall_lsq"
+                elif d.is_store and self.lsq.sq_full:
+                    stall_field = "stall_lsq"
+                elif (
+                    d.dest != NO_REG
+                    and not d.zero_idiom
+                    and self.free_list.available(reg_class(d.dest)) == 0
+                ):
+                    stall_field = "stall_regs"
+                else:
+                    return  # rename makes progress this cycle: no skip
+        if nxt <= cycle:
+            return
+        limit = self._last_progress_cycle + c.watchdog_cycles + 1
+        if nxt > limit:
+            nxt = limit  # let the watchdog fire at its usual cycle
+            if nxt <= cycle:
+                return
+        skip = nxt - cycle
+        stats = self.stats
+        stats.cycles += skip
+        if stall_field is not None:
+            setattr(stats, stall_field, getattr(stats, stall_field) + skip)
+        self.cycle = nxt
+
     # ==================================================================
     # Commit
     # ==================================================================
 
     def _commit(self, cycle: int) -> None:
+        # Hot-loop inlining: the ROB's backing deque is drained directly
+        # (head peeks and popleft), skipping per-op method dispatch.
+        rob_entries = self.rob._entries
+        if not rob_entries:
+            return
         stats = self.stats
+        lsq = self.lsq
+        rsep = self.rsep
+        producer_window = self.producer_window
+        commit_width = self.config.commit_width
+        zero_preg = self.zero_preg
+        isrb_dereference = self.isrb.dereference
+        free_release = self.free_list.release
         committed = 0
-        producers_group: list[InflightOp] = []
+        n_producers = 0
+        n_eligible = 0
+        n_branches = 0
+        n_loads = 0
+        n_stores = 0
+        producers_group: list[InflightOp] | None = None
         squash = None  # (first_seq, refetch_index, cause)
 
-        while committed < self.config.commit_width and not self.rob.empty:
-            op = self.rob.head()
-            if op.complete_cycle is None or op.complete_cycle >= cycle:
+        while committed < commit_width and rob_entries:
+            op = rob_entries[0]
+            complete_cycle = op.complete_cycle
+            if complete_cycle is None or complete_cycle >= cycle:
                 break
-            if op.validation_required and (
+            if (
+                op.dist_used
+                or (op.likely_candidate and op.producer is not None)
+            ) and (
                 op.validation_done_cycle is None
                 or op.validation_done_cycle >= cycle
             ):
@@ -241,8 +409,8 @@ class Pipeline:
             if op.dist_used and not op.equality_ok:
                 # §IV.G: flush once the mispredicted instruction reaches
                 # the ROB head; it re-executes unpredicted.
-                self.rsep.on_mispredict(op.dist_pred)
-                self.rsep.on_commit_used(op, False)
+                rsep.on_mispredict(op.dist_pred)
+                rsep.on_commit_used(op, False)
                 stats.rsep_mispredicts += 1
                 stats.squashes_rsep += 1
                 squash = (d.seq, op.trace_index, "rsep")
@@ -255,35 +423,44 @@ class Pipeline:
                 break
 
             # --- commit the instruction --------------------------------
-            self.rob.pop_head()
+            rob_entries.popleft()
             op.committed = True
             committed += 1
-            stats.committed += 1
-            self._total_committed += 1
 
             if d.is_branch:
-                stats.branches += 1
+                n_branches += 1
                 if op.fetch_outcome is not None:
                     if op.fetch_outcome.mispredicted:
                         stats.branch_mispredicts += 1
                     self.branch_unit.commit_branch(op.fetch_outcome)
             if d.is_load:
-                stats.loads += 1
-                self.lsq.remove(op)
+                n_loads += 1
+                lsq.remove(op)
             elif d.is_store:
-                stats.stores += 1
-                self.lsq.remove(op)
+                n_stores += 1
+                lsq.remove(op)
                 self.store_sets.store_completed(d.pc, op)
                 self.hierarchy.store(d.pc, d.addr, cycle)
 
-            produces = op.dest_preg != NO_REG
-            if produces:
-                self.producer_window.retire_head(op)
-                stats.committed_producers += 1
-                producers_group.append(op)
-                self._dereference(op.old_preg)
-            if d.rsep_eligible():
-                stats.committed_eligible += 1
+            if op.dest_preg != NO_REG:
+                pw_window = producer_window._window
+                if not pw_window or pw_window[0] is not op:
+                    raise PipelineError(
+                        "producer window commit order violated"
+                    )
+                pw_window.popleft()
+                n_producers += 1
+                if producers_group is None:
+                    producers_group = [op]
+                else:
+                    producers_group.append(op)
+                # Inlined _dereference (the committed op's old mapping dies).
+                old_preg = op.old_preg
+                if old_preg != NO_REG and old_preg != zero_preg:
+                    if isrb_dereference(old_preg) in ("untracked", "freed"):
+                        free_release(old_preg)
+            if d.eligible:
+                n_eligible += 1
 
             # --- coverage classification (Fig. 5) ----------------------
             if op.eliminated == "zero_idiom":
@@ -298,7 +475,7 @@ class Pipeline:
                 stats.dist_pred += 1
                 if d.is_load:
                     stats.dist_pred_load += 1
-                self.rsep.on_commit_used(op, True)
+                rsep.on_commit_used(op, True)
             elif op.vp_used and op.vp_ok:
                 stats.value_pred += 1
                 if d.is_load:
@@ -322,58 +499,141 @@ class Pipeline:
                 squash = (d.seq + 1, op.trace_index + 1, "vp")
                 break
 
-        if self.rsep is not None and producers_group:
-            self.rsep.observe_commit_group(producers_group)
+        if rsep is not None and producers_group:
+            rsep.observe_commit_group(producers_group)
         if committed:
+            stats.committed += committed
+            stats.committed_producers += n_producers
+            stats.committed_eligible += n_eligible
+            stats.branches += n_branches
+            stats.loads += n_loads
+            stats.stores += n_stores
+            self._total_committed += committed
             self._last_progress_cycle = cycle
         if squash is not None:
             self._squash_from_seq(squash[0], squash[1], cycle)
             if squash[2] == "memory_order":  # pragma: no cover - not here
                 stats.squashes_memory_order += 1
 
-    def _dereference(self, old_preg: int) -> None:
-        """A committed instruction's previous mapping dies."""
-        if old_preg == NO_REG or old_preg == self.zero_preg:
-            return
-        status = self.isrb.dereference(old_preg)
-        if status in ("untracked", "freed"):
-            self.free_list.release(old_preg)
-
     # ==================================================================
     # Issue
     # ==================================================================
 
+    def _schedule_op(self, op: InflightOp, cycle: int) -> None:
+        """Park *op* where its next wakeup will find it.
+
+        Computes the earliest cycle at which every *known* readiness
+        condition is met.  If some source's completion is still unknown
+        the op subscribes to that producer (preg waiter list / producer
+        waiter list) and is rescheduled when the producer issues.
+        """
+        reg_ready = self._reg_ready
+        wake = 0
+        for preg in op.src_pregs:
+            t = reg_ready[preg]
+            if t > wake:
+                if t >= _INF:
+                    waiters = self._preg_waiters.get(preg)
+                    if waiters is None:
+                        self._preg_waiters[preg] = [op]
+                    else:
+                        waiters.append(op)
+                    return
+                wake = t
+        if (op.dist_used or op.likely_candidate) and op.producer is not None:
+            # §IV.F: the predicted instruction is made dependent on the
+            # producer so validation can catch the value on the bypass.
+            producer = op.producer
+            t = producer.complete_cycle
+            if t is None:
+                if producer.waiters is None:
+                    producer.waiters = [op]
+                else:
+                    producer.waiters.append(op)
+                return
+            if t > wake:
+                wake = t
+        if wake <= cycle:
+            # Ready now.  Only dispatch-time scheduling can reach this
+            # branch (wakeups triggered from _do_issue always target a
+            # future cycle — completion is at least cycle + 1), and a
+            # dispatching op is the youngest in flight, so appending
+            # keeps the ready list seq-sorted without a re-sort.
+            self._ready.append(op)
+        else:
+            bucket = self._wakeup.get(wake)
+            if bucket is None:
+                self._wakeup[wake] = [op]
+                heappush(self._wakeup_heap, wake)
+            else:
+                bucket.append(op)
+
     def _issue(self, cycle: int) -> None:
+        bucket = self._wakeup.pop(cycle, None)
+        if bucket is not None:
+            # Ops were parked here with every readiness condition known to
+            # be met by this cycle, and known ready times never move (a
+            # source preg cannot be reallocated while a non-squashed
+            # consumer is in flight), so no re-evaluation is needed.
+            ready_append = self._ready.append
+            for op in bucket:
+                if not (op.issued or op.squashed):
+                    ready_append(op)
+            self._ready_dirty = True
+
+        validation_queue = self.validation_queue
+        ready = self._ready
+        pending_validation = len(validation_queue) != 0
+        if not ready and not pending_validation:
+            return
         ports = self.ports
         ports.new_cycle(cycle)
 
-        validated = self.validation_queue.issue_cycle(cycle, ports)
-        if validated:
-            self.iq.remove_issued(validated)
+        if pending_validation:
+            validated = validation_queue.issue_cycle(cycle, ports)
+            if validated:
+                self.iq.remove_issued(validated)
+        if not ready:
+            return
+        if self._ready_dirty:
+            ready.sort(key=_op_seq)
+            self._ready_dirty = False
 
         issue_width = self.config.ports.issue_width
-        issued: list[InflightOp] = []
+        op_ready = self._op_ready
+        try_issue = ports.try_issue
+        lsq = self.lsq
+        issued: list[InflightOp] | None = None
         violation_load = None
         violating_store = None
-        for op in self.iq:
-            if ports.issued_this_cycle >= issue_width:
+        for op in ready:
+            if ports._total >= issue_width:
                 break
-            if op.issued:
+            d = op.d
+            # Non-loads in the ready list are ready by construction
+            # (register/producer times were known when they were parked);
+            # only loads carry LSQ conditions that must be re-evaluated.
+            if d.is_load and not op_ready(op, cycle):
                 continue
-            if not self._op_ready(op, cycle):
-                continue
-            if not ports.try_issue(op.d.fu, cycle):
+            if not try_issue(d.fu, cycle):
                 continue
             self._do_issue(op, cycle)
-            issued.append(op)
-            if op.d.is_store:
-                violators = self.lsq.find_violations(op)
+            if issued is None:
+                issued = [op]
+            else:
+                issued.append(op)
+            if d.is_store:
+                violators = lsq.find_violations(op)
                 if violators:
                     violation_load = violators[0]
                     violating_store = op
                     break
 
-        self.iq.remove_issued([op for op in issued if not op.retained])
+        if issued is not None:
+            self._ready = [op for op in ready if not op.issued]
+            self.iq.remove_issued(
+                [op for op in issued if not op.retained]
+            )
 
         if violation_load is not None:
             self.store_sets.train_violation(
@@ -387,7 +647,7 @@ class Pipeline:
     def _op_ready(self, op: InflightOp, cycle: int) -> bool:
         reg_ready = self._reg_ready
         for preg in op.src_pregs:
-            if reg_ready.get(preg, 0) > cycle:
+            if reg_ready[preg] > cycle:
                 return False
         if (op.dist_used or op.likely_candidate) and op.producer is not None:
             # §IV.F: the predicted instruction is made dependent on the
@@ -427,27 +687,76 @@ class Pipeline:
             op.executed = True
         else:
             op.complete_cycle = cycle + d.latency
-        if op.allocated and not op.vp_used:
-            self._reg_ready[op.dest_preg] = op.complete_cycle
-        if op.validation_required:
+        if op.dist_used or (op.likely_candidate and op.producer is not None):
             self.validation_queue.request(op)
             if self.validation_queue.mode is not ValidationMode.IDEAL:
                 # §IV.F.b: predicted instructions retain their scheduler
                 # entry until the validation µ-op has issued.
                 op.retained = True
+        if op.allocated and not op.vp_used:
+            dest = op.dest_preg
+            self._reg_ready[dest] = op.complete_cycle
+            waiters = self._preg_waiters.pop(dest, None)
+            if waiters is not None:
+                schedule = self._schedule_op
+                for waiter in waiters:
+                    if not (waiter.issued or waiter.squashed):
+                        schedule(waiter, cycle)
+        waiters = op.waiters
+        if waiters is not None:
+            op.waiters = None
+            schedule = self._schedule_op
+            for waiter in waiters:
+                if not (waiter.issued or waiter.squashed):
+                    schedule(waiter, cycle)
 
     # ==================================================================
     # Rename / dispatch
     # ==================================================================
 
     def _rename(self, cycle: int) -> None:
+        fetch_buffer = self._fetch_buffer
+        if not fetch_buffer:
+            return
         c = self.config
         m = self.mechanisms
         stats = self.stats
-        fetch_buffer = self._fetch_buffer
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        free_list = self.free_list
+        rsep = self.rsep
+        zero_predictor = self.zero_predictor
+        vp = self.vp
+        producer_window = self.producer_window
+        store_sets = self.store_sets
+        reg_ready = self._reg_ready
+        rename_width = c.rename_width
         renamed = 0
+        # Hot-loop inlining: the backing containers of the rename map,
+        # ROB, producer window and LSQ are hoisted here so the 8-wide
+        # per-cycle loop skips method/property dispatch.  Semantics are
+        # those of the wrapped calls (capacity was checked, and `d.dest`
+        # is never XZR in a trace — the interpreter strips such dests).
+        rmap = self.rename_map._map
+        rob_entries = rob._entries
+        rob_capacity = rob.capacity
+        pw_append = producer_window._window.append
+        lq_len = len(lsq._loads)
+        sq_len = len(lsq._stores)
+        zero_idiom_elimination = c.zero_idiom_elimination
+        move_elim = m.move_elim
+        zero_preg = self.zero_preg
+        zero_idiom_eliminator = self.zero_idiom_elim
+        move_eliminator = self.move_eliminator
+        producer_at = producer_window.producer_at
+        rsep_sampling = False
+        if rsep is not None:
+            rsep_predict = rsep.predictor.predict
+            rsep_stats = rsep.stats
+            rsep_sampling = rsep.config.sampling
 
-        while renamed < c.rename_width and fetch_buffer:
+        while renamed < rename_width and fetch_buffer:
             op = fetch_buffer[0]
             if op.rename_ready_cycle > cycle:
                 break
@@ -455,113 +764,124 @@ class Pipeline:
             produces = d.dest != NO_REG
 
             # ---- capacity checks (stall in order) ---------------------
-            if self.rob.full:
+            if len(rob_entries) >= rob_capacity:
                 stats.stall_rob += 1
                 break
-            if d.fu != FuClass.NONE and self.iq.full:
+            if d.fu != FuClass.NONE and iq._live >= iq.capacity:
                 stats.stall_iq += 1
                 break
-            if d.is_load and self.lsq.lq_full:
+            if d.is_load and lq_len >= lsq.lq_capacity:
                 stats.stall_lsq += 1
                 break
-            if d.is_store and self.lsq.sq_full:
+            if d.is_store and sq_len >= lsq.sq_capacity:
                 stats.stall_lsq += 1
                 break
             if produces:
                 dest_class = reg_class(d.dest)
                 if (
                     not d.zero_idiom
-                    and self.free_list.available(dest_class) == 0
+                    and free_list.available(dest_class) == 0
                 ):
                     stats.stall_regs += 1
                     break
 
             # ---- source operands (old map) ----------------------------
-            sources = []
-            if d.src1 != NO_REG:
-                sources.append(self.rename_map.lookup(d.src1))
-            if d.src2 != NO_REG:
-                sources.append(self.rename_map.lookup(d.src2))
-            op.src_pregs = tuple(sources)
+            src1 = d.src1
+            src2 = d.src2
+            if src1 != NO_REG:
+                if src2 != NO_REG:
+                    op.src_pregs = (rmap[src1], rmap[src2])
+                else:
+                    op.src_pregs = (rmap[src1],)
+            elif src2 != NO_REG:
+                op.src_pregs = (rmap[src2],)
 
             needs_iq = d.fu != FuClass.NONE
 
             # ---- destination handling & mechanisms --------------------
             if produces:
                 dest_preg = NO_REG
-                eligible = d.rsep_eligible()
+                eligible = d.eligible
 
-                if c.zero_idiom_elimination and d.zero_idiom:
-                    dest_preg = self.zero_preg
+                if zero_idiom_elimination and d.zero_idiom:
+                    dest_preg = zero_preg
                     op.eliminated = "zero_idiom"
-                    self.zero_idiom_elim.eliminated += 1
+                    zero_idiom_eliminator.eliminated += 1
                     needs_iq = False
-                elif m.move_elim and d.move:
-                    shared_preg = self.move_eliminator.try_eliminate(d)
+                elif move_elim and d.move:
+                    shared_preg = move_eliminator.try_eliminate(d)
                     if shared_preg is not None:
                         dest_preg = shared_preg
                         op.eliminated = "move"
                         op.shared = True
                         needs_iq = False
 
-                if self.rsep is not None and eligible and op.eliminated is None:
-                    prediction = self.rsep.lookup(d.pc)
-                    op.dist_pred = prediction
-                    if prediction.use_pred and dest_preg == NO_REG:
-                        dest_preg = self._try_share(op, prediction, dest_class)
-                    elif (
-                        prediction.likely_candidate
-                        and self.rsep.config.sampling
-                    ):
-                        producer = self.producer_window.producer_at(
-                            prediction.distance
-                        )
-                        if producer is not None:
-                            op.likely_candidate = True
-                            op.producer = producer
+                if rsep is not None and eligible and op.eliminated is None:
+                    # Inlined RsepUnit.lookup (prediction + accounting).
+                    prediction = rsep_predict(d.pc)
+                    rsep_stats.lookups += 1
+                    if prediction.use_pred:
+                        rsep_stats.confident += 1
+                        op.dist_pred = prediction
+                        if dest_preg == NO_REG:
+                            dest_preg = self._try_share(
+                                op, prediction, dest_class
+                            )
+                    else:
+                        op.dist_pred = prediction
+                        if prediction.likely_candidate and rsep_sampling:
+                            producer = producer_at(prediction.distance)
+                            if producer is not None:
+                                op.likely_candidate = True
+                                op.producer = producer
 
-                if self.zero_predictor is not None and eligible:
-                    zero_prediction = self.zero_predictor.predict(d.pc)
+                if zero_predictor is not None and eligible:
+                    zero_prediction = zero_predictor.predict(d.pc)
                     op.zero_pred = zero_prediction
                     if zero_prediction.use_pred and dest_preg == NO_REG:
-                        dest_preg = self.zero_preg
+                        dest_preg = zero_preg
                         op.zero_pred_used = True  # executes to validate
 
-                if self.vp is not None and eligible:
-                    value_prediction = self.vp.lookup(d.pc)
+                if vp is not None and eligible:
+                    value_prediction = vp.lookup(d.pc)
                     op.vp_pred = value_prediction
                     if value_prediction.predicted() and dest_preg == NO_REG:
                         op.vp_used = True
                         op.vp_ok = value_prediction.value == d.result
-                        self.vp.stats.used += 1
+                        vp.stats.used += 1
 
                 if dest_preg == NO_REG:
-                    dest_preg = self.free_list.allocate(dest_class)
+                    dest_preg = free_list.allocate(dest_class)
                     op.allocated = True
-                    self._reg_ready[dest_preg] = (
+                    reg_ready[dest_preg] = (
                         cycle if op.vp_used else _INF
                     )
                 op.dest_preg = dest_preg
-                op.old_preg = self.rename_map.rename_dest(d.dest, dest_preg)
+                dest = d.dest
+                op.old_preg = rmap[dest]
+                rmap[dest] = dest_preg
 
             if not needs_iq:
                 op.complete_cycle = cycle
                 op.executed = True
 
             # ---- structures -------------------------------------------
-            self.rob.push(op)
+            rob_entries.append(op)
             if needs_iq:
-                self.iq.insert(op)
+                iq.insert(op)
+                self._schedule_op(op, cycle)
             if d.is_load:
-                self.lsq.add_load(op)
-                dep = self.store_sets.load_dependency(d.pc)
+                lsq.add_load(op)
+                lq_len += 1
+                dep = store_sets.load_dependency(d.pc)
                 if dep is not None and not dep.committed and not dep.squashed:
                     op.store_dep = dep
             elif d.is_store:
-                self.lsq.add_store(op)
-                self.store_sets.store_dispatched(d.pc, op)
+                lsq.add_store(op)
+                sq_len += 1
+                store_sets.store_dispatched(d.pc, op)
             if produces:
-                self.producer_window.push(op)
+                pw_append(op)
 
             fetch_buffer.popleft()
             renamed += 1
@@ -608,30 +928,36 @@ class Pipeline:
         if cycle < self._next_fetch_cycle:
             return
 
-        trace = self.trace
+        trace = self.trace.instructions
+        num_instructions = len(trace)
         fetch_buffer = self._fetch_buffer
+        append = fetch_buffer.append
+        hierarchy = self.hierarchy
+        branch_unit = self.branch_unit
+        fetch_width = c.fetch_width
+        fetch_buffer_size = c.fetch_buffer_size
+        frontend_depth = c.frontend_depth
+        rename_ready = cycle + frontend_depth
         fetched = 0
         taken_seen = 0
         while (
-            fetched < c.fetch_width
-            and len(fetch_buffer) < c.fetch_buffer_size
-            and self._cursor < len(trace)
+            fetched < fetch_width
+            and len(fetch_buffer) < fetch_buffer_size
+            and self._cursor < num_instructions
         ):
             d = trace[self._cursor]
-            line = d.pc >> LINE_SHIFT
+            line = d.line
             if line != self._last_fetch_line:
-                bubble = self.hierarchy.fetch(d.pc, cycle)
+                bubble = hierarchy.fetch(d.pc, cycle)
                 if bubble > 0:
                     self._next_fetch_cycle = cycle + bubble
                     break
                 self._last_fetch_line = line
-            op = InflightOp(
-                d, self._cursor, cycle, cycle + c.frontend_depth
-            )
+            op = InflightOp(d, self._cursor, cycle, rename_ready)
             if d.is_branch:
-                outcome = self.branch_unit.fetch_branch(d)
+                outcome = branch_unit.fetch_branch(d)
                 op.fetch_outcome = outcome
-                fetch_buffer.append(op)
+                append(op)
                 self._cursor += 1
                 fetched += 1
                 if outcome.mispredicted:
@@ -648,7 +974,7 @@ class Pipeline:
                     if taken_seen >= 2:
                         break  # 8-wide fetch over at most 1 taken branch
                 continue
-            fetch_buffer.append(op)
+            append(op)
             self._cursor += 1
             fetched += 1
 
@@ -697,6 +1023,11 @@ class Pipeline:
             op.squashed = True
         self._fetch_buffer.clear()
         self.iq.squash(lambda o: o.d.seq >= first_seq)
+        # Squashed ops elsewhere in the scheduler (wakeup buckets, preg /
+        # producer waiter lists) are dropped lazily via their squashed
+        # flag; the ready list is filtered eagerly since it is iterated
+        # every issue cycle.
+        self._ready = [o for o in self._ready if o.d.seq < first_seq]
         self.lsq.squash(first_seq)
         self.validation_queue.squash(first_seq)
         self._fetch_stalled_by = None

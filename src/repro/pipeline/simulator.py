@@ -49,18 +49,30 @@ class Simulator:
 
     def __init__(self, core_config: CoreConfig | None = None) -> None:
         self.core_config = core_config or CoreConfig()
-        self._trace_cache: dict[tuple[str, int, int], Trace] = {}
+        # (benchmark, seed) -> (trace, instructions it was built for).
+        self._trace_cache: dict[tuple[str, int], tuple[Trace, int]] = {}
 
     def trace_for(self, benchmark: str, seed: int,
                   instructions: int) -> Trace:
-        """Build (and cache) the functional trace for one checkpoint."""
-        key = (benchmark, seed, instructions)
-        cached = self._trace_cache.get(key)
-        if cached is None:
-            built = build_benchmark(benchmark, seed)
-            cached = execute(built.program, instructions, built.machine())
-            self._trace_cache[key] = cached
-        return cached
+        """Build (and cache) the functional trace for one checkpoint.
+
+        The interpreter is deterministic, so a trace built for N
+        instructions is a prefix of any longer build: a cached trace is
+        reused for every request it covers (shorter windows included)
+        instead of re-executing the interpreter per requested length.  A
+        trace that ended at ``HALT`` before reaching its requested length
+        is the complete execution and covers any request.
+        """
+        key = (benchmark, seed)
+        entry = self._trace_cache.get(key)
+        if entry is not None:
+            trace, covered = entry
+            if instructions <= covered or len(trace) < covered:
+                return trace
+        built = build_benchmark(benchmark, seed)
+        trace = execute(built.program, instructions, built.machine())
+        self._trace_cache[key] = (trace, instructions)
+        return trace
 
     def run_benchmark(
         self,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.bitops import fold_bits
 from repro.common.history import GlobalHistory, PathHistory
 from repro.common.rng import XorShift64
 from repro.common.storage import StorageReport
@@ -91,7 +92,7 @@ class DistancePredictorConfig:
         ]
 
 
-@dataclass
+@dataclass(slots=True)
 class DistancePrediction:
     """One lookup outcome, retained for commit-time training."""
 
@@ -144,25 +145,118 @@ class DistancePredictor:
         # Statistics.
         self.lookups = 0
         self.confident_predictions = 0
+        # Specialised predict: the component loop is unrolled once at
+        # construction with all geometry constants and table references
+        # embedded (see _build_fast_predict).  `predict` is rebound to it;
+        # `predict_reference` keeps the generic path for cross-checking.
+        self.predict = self._build_fast_predict()
 
     # ------------------------------------------------------------------
 
-    def predict(self, pc: int) -> DistancePrediction:
+    def _build_fast_predict(self):
+        """Generate an unrolled predict() specialised to this geometry.
+
+        Produces exactly the computation of :meth:`predict_reference`
+        (same indexing, provider search and confidence thresholds), with
+        the per-component loop flattened and every constant inlined.
+        Table lists and folded registers are only ever mutated in place,
+        so the embedded references stay valid for the predictor's life.
+        """
+        indexer = self._indexer
+        components = indexer._components
+        path_bits = indexer._path_bits
+        n = len(components)
+        env = {
+            "Lookup": Lookup,
+            "DistancePrediction": DistancePrediction,
+            "fold_bits": fold_bits,
+            "_path": indexer.path,
+            "_self": self,
+            "_bdist": self._base_distance,
+            "_bconf": self._base_conf,
+        }
+        lines = [
+            "def fast_predict(pc):",
+            "    _self.lookups += 1",
+            f"    path_raw = _path.value & {(1 << path_bits) - 1}",
+            "    word = pc >> 2",
+        ]
+        for k, (index_bits, index_mask, word_shift, index_fold,
+                tag_mask, tag_fold, tag_fold2, path_memo) in enumerate(
+                    components):
+            env[f"_fi{k}"] = index_fold
+            env[f"_ft{k}"] = tag_fold
+            env[f"_pm{k}"] = path_memo
+            lines += [
+                f"    _m = _pm{k}",
+                "    if _m[0] != path_raw:",
+                f"        _m[0] = path_raw",
+                f"        _m[1] = fold_bits(path_raw, {path_bits}, "
+                f"{index_bits})",
+                f"    i{k} = (word ^ (word >> {word_shift}) ^ _fi{k}.value"
+                f" ^ _m[1]) & {index_mask}",
+            ]
+            if tag_fold2 is not None:
+                env[f"_ft2{k}"] = tag_fold2
+                lines.append(
+                    f"    t{k} = (word ^ _ft{k}.value ^ (_ft2{k}.value << 1))"
+                    f" & {tag_mask}"
+                )
+            else:
+                lines.append(f"    t{k} = (word ^ _ft{k}.value) & {tag_mask}")
+        index_list = ", ".join(f"i{k}" for k in range(n))
+        tag_list = ", ".join(f"t{k}" for k in range(n))
+        lines += [
+            f"    lookup = Lookup(pc, [{index_list}], [{tag_list}])",
+            f"    base_index = word & {self._base_mask}",
+        ]
+        keyword = "if"
+        for k in range(n - 1, -1, -1):
+            env[f"_tags{k}"] = self._tags[k]
+            env[f"_dist{k}"] = self._distances[k]
+            env[f"_conf{k}"] = self._confs[k]
+            lines += [
+                f"    {keyword} _tags{k}[i{k}] == t{k}:",
+                f"        provider = {k}",
+                f"        distance = _dist{k}[i{k}]",
+                f"        confidence = _conf{k}[i{k}]",
+            ]
+            keyword = "elif"
+        lines += [
+            "    else:",
+            "        provider = -1",
+            "        distance = _bdist[base_index]",
+            "        confidence = _bconf[base_index]",
+            # NO_DISTANCE == 0 is inlined below.
+            f"    use_pred = confidence >= {self._use_level}"
+            " and distance != 0",
+            f"    likely = confidence >= {self._train_level}"
+            " and distance != 0",
+            "    if use_pred:",
+            "        _self.confident_predictions += 1",
+            "    return DistancePrediction(pc, distance, use_pred, likely,"
+            " provider, lookup, base_index, confidence)",
+        ]
+        exec("\n".join(lines), env)  # noqa: S102 - static template, no input
+        return env["fast_predict"]
+
+    def predict_reference(self, pc: int) -> DistancePrediction:
         """Look up the predicted IDist for the instruction at *pc*."""
         self.lookups += 1
         lookup = self._indexer.lookup(pc)
         base_index = (pc >> 2) & self._base_mask
+        indices = lookup.indices
+        tags = lookup.tags
+        component_tags = self._tags
 
         provider = -1
-        for component in range(len(self._geometries) - 1, -1, -1):
-            if self._tags[component][lookup.indices[component]] == lookup.tags[
-                component
-            ]:
+        for component in range(len(component_tags) - 1, -1, -1):
+            if component_tags[component][indices[component]] == tags[component]:
                 provider = component
                 break
 
         if provider >= 0:
-            index = lookup.indices[provider]
+            index = indices[provider]
             distance = self._distances[provider][index]
             confidence = self._confs[provider][index]
         else:
@@ -174,14 +268,8 @@ class DistancePredictor:
         if use_pred:
             self.confident_predictions += 1
         return DistancePrediction(
-            pc=pc,
-            distance=distance,
-            use_pred=use_pred,
-            likely_candidate=likely,
-            provider=provider,
-            lookup=lookup,
-            base_index=base_index,
-            confidence_level=confidence,
+            pc, distance, use_pred, likely,
+            provider, lookup, base_index, confidence,
         )
 
     # ------------------------------------------------------------------

@@ -64,7 +64,7 @@ class DVtageConfig:
         ]
 
 
-@dataclass
+@dataclass(slots=True)
 class ValuePrediction:
     """One D-VTAGE lookup, retained for commit-time training."""
 

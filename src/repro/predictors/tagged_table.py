@@ -45,7 +45,7 @@ def geometric_history_lengths(
     return lengths
 
 
-@dataclass
+@dataclass(slots=True)
 class Lookup:
     """Result of indexing all components for one PC.
 
@@ -82,35 +82,100 @@ class GeometricIndexer:
             history.register_fold(geometry.history_bits, geometry.tag_bits)
             if geometry.tag_bits > 1:
                 history.register_fold(geometry.history_bits, geometry.tag_bits - 1)
+        # Per-component constants and live folded-register references,
+        # precomputed once so the per-lookup loop touches no dicts.  The
+        # final element is a [last_path_raw, folded] memo: path history
+        # only changes on taken branches, so the path fold is reused
+        # across the (many) lookups between pushes.
+        self._components = []
+        for component_number, geometry in enumerate(self.geometries, start=1):
+            index_bits = geometry.log2_entries
+            self._components.append((
+                index_bits,
+                (1 << index_bits) - 1,
+                index_bits - component_number % index_bits or 1,
+                history.fold_register(geometry.history_bits, index_bits),
+                (1 << geometry.tag_bits) - 1,
+                history.fold_register(geometry.history_bits,
+                                      geometry.tag_bits),
+                history.fold_register(geometry.history_bits,
+                                      geometry.tag_bits - 1)
+                if geometry.tag_bits > 1 else None,
+                [-1, 0],
+            ))
+        self.lookup = self._build_fast_lookup()
 
-    def lookup(self, pc: int) -> Lookup:
+    def _build_fast_lookup(self):
+        """Generate an unrolled :meth:`lookup` for this geometry set.
+
+        Same computation as :meth:`lookup_reference`, with the component
+        loop flattened and all constants inlined.  Folded registers and
+        path memos are mutated in place elsewhere, so the embedded
+        references stay live.
+        """
+        path_bits = self._path_bits
+        env = {"Lookup": Lookup, "fold_bits": fold_bits, "_path": self.path}
+        lines = [
+            "def fast_lookup(pc):",
+            f"    path_raw = _path.value & {(1 << path_bits) - 1}",
+            "    word = pc >> 2",
+        ]
+        n = len(self._components)
+        for k, (index_bits, index_mask, word_shift, index_fold,
+                tag_mask, tag_fold, tag_fold2, path_memo) in enumerate(
+                    self._components):
+            env[f"_fi{k}"] = index_fold
+            env[f"_ft{k}"] = tag_fold
+            env[f"_pm{k}"] = path_memo
+            lines += [
+                f"    _m = _pm{k}",
+                "    if _m[0] != path_raw:",
+                "        _m[0] = path_raw",
+                f"        _m[1] = fold_bits(path_raw, {path_bits}, "
+                f"{index_bits})",
+                f"    i{k} = (word ^ (word >> {word_shift}) ^ _fi{k}.value"
+                f" ^ _m[1]) & {index_mask}",
+            ]
+            if tag_fold2 is not None:
+                env[f"_ft2{k}"] = tag_fold2
+                lines.append(
+                    f"    t{k} = (word ^ _ft{k}.value ^ (_ft2{k}.value << 1))"
+                    f" & {tag_mask}"
+                )
+            else:
+                lines.append(f"    t{k} = (word ^ _ft{k}.value) & {tag_mask}")
+        index_list = ", ".join(f"i{k}" for k in range(n))
+        tag_list = ", ".join(f"t{k}" for k in range(n))
+        lines.append(f"    return Lookup(pc, [{index_list}], [{tag_list}])")
+        exec("\n".join(lines), env)  # noqa: S102 - static template, no input
+        return env["fast_lookup"]
+
+    def lookup_reference(self, pc: int) -> Lookup:
         """Index every component for *pc* under current history."""
         word = pc >> 2
         indices: list[int] = []
         tags: list[int] = []
-        path_raw = self.path.raw(self._path_bits)
-        for component_number, geometry in enumerate(self.geometries, start=1):
-            index_bits = geometry.log2_entries
-            index_mask = (1 << index_bits) - 1
-            folded_index = self.history.folded(geometry.history_bits, index_bits)
-            path_mix = fold_bits(path_raw, self._path_bits, index_bits)
+        path_bits = self._path_bits
+        path_raw = self.path.raw(path_bits)
+        for (index_bits, index_mask, word_shift, index_fold,
+             tag_mask, tag_fold, tag_fold2, path_memo) in self._components:
+            if path_memo[0] == path_raw:
+                path_mix = path_memo[1]
+            else:
+                path_mix = fold_bits(path_raw, path_bits, index_bits)
+                path_memo[0] = path_raw
+                path_memo[1] = path_mix
             index = (
                 word
-                ^ (word >> (index_bits - component_number % index_bits or 1))
-                ^ folded_index
+                ^ (word >> word_shift)
+                ^ index_fold.value
                 ^ path_mix
             ) & index_mask
-            tag_mask = (1 << geometry.tag_bits) - 1
-            folded_tag = self.history.folded(
-                geometry.history_bits, geometry.tag_bits
-            )
-            if geometry.tag_bits > 1:
-                folded_tag2 = self.history.folded(
-                    geometry.history_bits, geometry.tag_bits - 1
-                )
-            else:
-                folded_tag2 = 0
-            tag = (word ^ folded_tag ^ (folded_tag2 << 1)) & tag_mask
+            tag = (
+                word
+                ^ tag_fold.value
+                ^ ((tag_fold2.value << 1) if tag_fold2 is not None else 0)
+            ) & tag_mask
             indices.append(index)
             tags.append(tag)
         return Lookup(pc, indices, tags)

@@ -16,7 +16,7 @@ from repro.common.storage import StorageReport
 from repro.predictors.confidence import ConfidenceScale, SCALED
 
 
-@dataclass
+@dataclass(slots=True)
 class ZeroPrediction:
     """One lookup outcome, retained for commit-time training."""
 

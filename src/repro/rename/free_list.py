@@ -30,7 +30,10 @@ class FreeList:
         self.zero_preg = num_int + num_fp
         self._free_int = list(range(num_int - 1, -1, -1))
         self._free_fp = list(range(num_int + num_fp - 1, num_int - 1, -1))
-        self._allocated: set[int] = set()
+        # Allocation state as a flat flag array (preg-indexed): the
+        # double-free tripwire without per-operation set hashing.  One
+        # extra slot so probing the zero register is well-defined.
+        self._allocated = [False] * (num_int + num_fp + 1)
 
     # ------------------------------------------------------------------
 
@@ -56,23 +59,24 @@ class FreeList:
         if not pool:
             return None
         preg = pool.pop()
-        self._allocated.add(preg)
+        self._allocated[preg] = True
         return preg
 
     def release(self, preg: int) -> None:
         """Return *preg* to its pool."""
         if preg == self.zero_preg:
             raise FreeListError("the zero register is never freed")
-        if preg not in self._allocated:
+        allocated = self._allocated
+        if not allocated[preg]:
             raise FreeListError(f"double free of preg {preg}")
-        self._allocated.remove(preg)
+        allocated[preg] = False
         if preg < self.num_int:
             self._free_int.append(preg)
         else:
             self._free_fp.append(preg)
 
     def is_allocated(self, preg: int) -> bool:
-        return preg in self._allocated
+        return self._allocated[preg]
 
     def seed_architectural(self, pregs_needed_int: int,
                            pregs_needed_fp: int) -> list[int]:

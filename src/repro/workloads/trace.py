@@ -5,15 +5,26 @@ The interpreter is the architectural reference model.  It executes a
 :class:`~repro.isa.instruction.DynInst` per committed instruction — result
 values, effective addresses and branch outcomes.  The timing model replays
 this committed path and resolves all speculation against it.
+
+Dispatch is table-driven: every data-path opcode has a handler in
+``_DISPATCH`` (indexed by opcode number), and :func:`execute` pre-resolves
+one handler per *static* instruction before the dynamic loop starts, so the
+hot loop performs one list index and one call instead of walking an opcode
+``if``/``elif`` chain.  Static per-instruction properties (source-register
+visibility, zero-idiom/move flags, PCs, conditionality) are likewise
+decoded once per static instruction; the :class:`DynInst` constructor
+additionally precomputes the flags the timing model reads every cycle
+(``is_load``/``is_store``/``is_branch``, FU class, cache-line index,
+RSEP eligibility).
 """
 
 from __future__ import annotations
 
 import struct
 
-from repro.common.bitops import mask64, to_signed64
+from repro.common.bitops import MASK64, mask64, to_signed64
 from repro.isa.instruction import DynInst, NO_ADDR, NO_REG
-from repro.isa.opcodes import Opcode
+from repro.isa.opcodes import OP_INFO, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import NUM_ARCH_REGS, XZR
 
@@ -115,6 +126,206 @@ class InterpreterError(RuntimeError):
     """Raised on malformed execution (e.g. runaway PC)."""
 
 
+# ---------------------------------------------------------------------------
+# Data-path handlers
+# ---------------------------------------------------------------------------
+# Each handler executes one non-control instruction against machine state
+# and returns ``(dest, result, addr)``.  The zero register is readable
+# directly from the register file: ``write_reg`` never writes it, so
+# ``regs[XZR]`` is always 0 and the per-read XZR branch can be skipped.
+# Control flow (branches, calls, returns, HALT) stays in :func:`execute`,
+# which owns the program counter.
+
+
+def _ex_add(m, i):
+    r = m.regs
+    return i.rd, (r[i.rs1] + r[i.rs2]) & MASK64, NO_ADDR
+
+
+def _ex_addi(m, i):
+    return i.rd, (m.regs[i.rs1] + i.imm) & MASK64, NO_ADDR
+
+
+def _ex_sub(m, i):
+    r = m.regs
+    return i.rd, (r[i.rs1] - r[i.rs2]) & MASK64, NO_ADDR
+
+
+def _ex_subi(m, i):
+    return i.rd, (m.regs[i.rs1] - i.imm) & MASK64, NO_ADDR
+
+
+def _ex_and(m, i):
+    r = m.regs
+    return i.rd, r[i.rs1] & r[i.rs2], NO_ADDR
+
+
+def _ex_andi(m, i):
+    return i.rd, m.regs[i.rs1] & (i.imm & MASK64), NO_ADDR
+
+
+def _ex_orr(m, i):
+    r = m.regs
+    return i.rd, r[i.rs1] | r[i.rs2], NO_ADDR
+
+
+def _ex_orri(m, i):
+    return i.rd, m.regs[i.rs1] | (i.imm & MASK64), NO_ADDR
+
+
+def _ex_eor(m, i):
+    r = m.regs
+    return i.rd, r[i.rs1] ^ r[i.rs2], NO_ADDR
+
+
+def _ex_eori(m, i):
+    return i.rd, m.regs[i.rs1] ^ (i.imm & MASK64), NO_ADDR
+
+
+def _ex_lsl(m, i):
+    r = m.regs
+    return i.rd, (r[i.rs1] << (r[i.rs2] & 63)) & MASK64, NO_ADDR
+
+
+def _ex_lsli(m, i):
+    return i.rd, (m.regs[i.rs1] << (i.imm & 63)) & MASK64, NO_ADDR
+
+
+def _ex_lsr(m, i):
+    r = m.regs
+    return i.rd, r[i.rs1] >> (r[i.rs2] & 63), NO_ADDR
+
+
+def _ex_lsri(m, i):
+    return i.rd, m.regs[i.rs1] >> (i.imm & 63), NO_ADDR
+
+
+def _ex_movz(m, i):
+    return i.rd, i.imm & MASK64, NO_ADDR
+
+
+def _ex_mov(m, i):
+    return i.rd, m.regs[i.rs1], NO_ADDR
+
+
+def _ex_mul(m, i):
+    r = m.regs
+    return i.rd, (r[i.rs1] * r[i.rs2]) & MASK64, NO_ADDR
+
+
+def _ex_div(m, i):
+    r = m.regs
+    return i.rd, _signed_div(r[i.rs1], r[i.rs2]), NO_ADDR
+
+
+def _ex_ldr(m, i):
+    addr = ((m.regs[i.rs1] + i.imm) & MASK64) & ~7
+    return i.rd, m.memory.get(addr >> 3, 0), addr
+
+
+def _ex_ldrb(m, i):
+    addr = (m.regs[i.rs1] + i.imm) & MASK64
+    word = m.memory.get(addr >> 3, 0)
+    return i.rd, (word >> ((addr & 7) * 8)) & 0xFF, addr
+
+
+def _ex_str(m, i):
+    r = m.regs
+    addr = ((r[i.rs1] + i.imm) & MASK64) & ~7
+    m.memory[addr >> 3] = r[i.rs2]
+    return NO_REG, 0, addr
+
+
+def _ex_fadd(m, i):
+    r = m.regs
+    return i.rd, _fp_op(float.__add__, r[i.rs1], r[i.rs2]), NO_ADDR
+
+
+def _ex_fsub(m, i):
+    r = m.regs
+    return i.rd, _fp_op(float.__sub__, r[i.rs1], r[i.rs2]), NO_ADDR
+
+
+def _ex_fmul(m, i):
+    r = m.regs
+    return i.rd, _fp_op(float.__mul__, r[i.rs1], r[i.rs2]), NO_ADDR
+
+
+def _ex_fdiv(m, i):
+    r = m.regs
+    return i.rd, _fp_op(float.__truediv__, r[i.rs1], r[i.rs2]), NO_ADDR
+
+
+def _ex_fmov(m, i):
+    return i.rd, m.regs[i.rs1], NO_ADDR
+
+
+def _ex_fmovi(m, i):
+    return i.rd, i.imm & MASK64, NO_ADDR
+
+
+def _ex_fldr(m, i):
+    addr = ((m.regs[i.rs1] + i.imm) & MASK64) & ~7
+    return i.rd, m.memory.get(addr >> 3, 0), addr
+
+
+def _ex_fstr(m, i):
+    r = m.regs
+    addr = ((r[i.rs1] + i.imm) & MASK64) & ~7
+    m.memory[addr >> 3] = r[i.rs2]
+    return NO_REG, 0, addr
+
+
+def _ex_nop(m, i):
+    return NO_REG, 0, NO_ADDR
+
+
+#: Handler per opcode number; ``None`` marks control flow handled inline.
+_DISPATCH: list = [None] * len(Opcode)
+for _opcode, _handler in {
+    Opcode.ADD: _ex_add, Opcode.ADDI: _ex_addi,
+    Opcode.SUB: _ex_sub, Opcode.SUBI: _ex_subi,
+    Opcode.AND: _ex_and, Opcode.ANDI: _ex_andi,
+    Opcode.ORR: _ex_orr, Opcode.ORRI: _ex_orri,
+    Opcode.EOR: _ex_eor, Opcode.EORI: _ex_eori,
+    Opcode.LSL: _ex_lsl, Opcode.LSLI: _ex_lsli,
+    Opcode.LSR: _ex_lsr, Opcode.LSRI: _ex_lsri,
+    Opcode.MOVZ: _ex_movz, Opcode.MOV: _ex_mov,
+    Opcode.MUL: _ex_mul, Opcode.DIV: _ex_div,
+    Opcode.LDR: _ex_ldr, Opcode.LDRB: _ex_ldrb, Opcode.STR: _ex_str,
+    Opcode.FADD: _ex_fadd, Opcode.FSUB: _ex_fsub,
+    Opcode.FMUL: _ex_fmul, Opcode.FDIV: _ex_fdiv,
+    Opcode.FMOV: _ex_fmov, Opcode.FMOVI: _ex_fmovi,
+    Opcode.FLDR: _ex_fldr, Opcode.FSTR: _ex_fstr,
+    Opcode.NOP: _ex_nop,
+}.items():
+    _DISPATCH[_opcode] = _handler
+del _opcode, _handler
+
+
+def _predecode(program: Program):
+    """Per-static-instruction tables resolved once per :func:`execute`.
+
+    Returns ``(handlers, pcs, statics)`` where ``statics[i]`` is
+    ``(src1, src2, zero_idiom, move, is_conditional)`` with source fields
+    already masked by the opcode's read visibility.
+    """
+    instructions = program.instructions
+    handlers = [_DISPATCH[instr.opcode] for instr in instructions]
+    pcs = [program.pc_of(index) for index in range(len(instructions))]
+    statics = []
+    for instr in instructions:
+        info = OP_INFO[instr.opcode]
+        statics.append((
+            instr.rs1 if info.reads_rs1 else NO_REG,
+            instr.rs2 if info.reads_rs2 else NO_REG,
+            instr.is_zero_idiom(),
+            instr.is_move(),
+            info.is_conditional,
+        ))
+    return handlers, pcs, statics
+
+
 def execute(
     program: Program,
     max_instructions: int,
@@ -129,6 +340,7 @@ def execute(
     m = machine if machine is not None else Machine()
     regs = m.regs
     instructions = program.instructions
+    handlers, pcs, statics = _predecode(program)
     trace: list[DynInst] = []
     append = trace.append
 
@@ -139,170 +351,80 @@ def execute(
         if not 0 <= index < num_static:
             raise InterpreterError(f"PC escaped program: index {index}")
         instr = instructions[index]
-        op = instr.opcode
-        pc = program.pc_of(index)
-        rd = instr.rd
-        next_index = index + 1
+        handler = handlers[index]
+        src1, src2, zero_idiom, move, is_conditional = statics[index]
 
-        if op == Opcode.HALT:
-            break
-
-        dest = NO_REG
-        result = 0
-        addr = NO_ADDR
         taken = False
         target_pc = -1
 
-        if op == Opcode.ADD:
-            result = mask64(m.read_reg(instr.rs1) + m.read_reg(instr.rs2))
-            dest = rd
-        elif op == Opcode.ADDI:
-            result = mask64(m.read_reg(instr.rs1) + instr.imm)
-            dest = rd
-        elif op == Opcode.SUB:
-            result = mask64(m.read_reg(instr.rs1) - m.read_reg(instr.rs2))
-            dest = rd
-        elif op == Opcode.SUBI:
-            result = mask64(m.read_reg(instr.rs1) - instr.imm)
-            dest = rd
-        elif op == Opcode.AND:
-            result = m.read_reg(instr.rs1) & m.read_reg(instr.rs2)
-            dest = rd
-        elif op == Opcode.ANDI:
-            result = m.read_reg(instr.rs1) & mask64(instr.imm)
-            dest = rd
-        elif op == Opcode.ORR:
-            result = m.read_reg(instr.rs1) | m.read_reg(instr.rs2)
-            dest = rd
-        elif op == Opcode.ORRI:
-            result = m.read_reg(instr.rs1) | mask64(instr.imm)
-            dest = rd
-        elif op == Opcode.EOR:
-            result = m.read_reg(instr.rs1) ^ m.read_reg(instr.rs2)
-            dest = rd
-        elif op == Opcode.EORI:
-            result = m.read_reg(instr.rs1) ^ mask64(instr.imm)
-            dest = rd
-        elif op == Opcode.LSL:
-            result = mask64(m.read_reg(instr.rs1) << (m.read_reg(instr.rs2) & 63))
-            dest = rd
-        elif op == Opcode.LSLI:
-            result = mask64(m.read_reg(instr.rs1) << (instr.imm & 63))
-            dest = rd
-        elif op == Opcode.LSR:
-            result = m.read_reg(instr.rs1) >> (m.read_reg(instr.rs2) & 63)
-            dest = rd
-        elif op == Opcode.LSRI:
-            result = m.read_reg(instr.rs1) >> (instr.imm & 63)
-            dest = rd
-        elif op == Opcode.MOVZ:
-            result = mask64(instr.imm)
-            dest = rd
-        elif op == Opcode.MOV:
-            result = m.read_reg(instr.rs1)
-            dest = rd
-        elif op == Opcode.MUL:
-            result = mask64(m.read_reg(instr.rs1) * m.read_reg(instr.rs2))
-            dest = rd
-        elif op == Opcode.DIV:
-            result = _signed_div(m.read_reg(instr.rs1), m.read_reg(instr.rs2))
-            dest = rd
-        elif op == Opcode.LDR:
-            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
-            result = m.load_word(addr)
-            dest = rd
-        elif op == Opcode.LDRB:
-            addr = mask64(m.read_reg(instr.rs1) + instr.imm)
-            result = m.load_byte(addr)
-            dest = rd
-        elif op == Opcode.STR:
-            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
-            m.store_word(addr, m.read_reg(instr.rs2))
-        elif op == Opcode.B:
-            taken = True
-            next_index = instr.target
-            target_pc = program.pc_of(next_index)
-        elif op == Opcode.BEQ:
-            taken = m.read_reg(instr.rs1) == m.read_reg(instr.rs2)
-        elif op == Opcode.BNE:
-            taken = m.read_reg(instr.rs1) != m.read_reg(instr.rs2)
-        elif op == Opcode.BLT:
-            taken = to_signed64(m.read_reg(instr.rs1)) < to_signed64(
-                m.read_reg(instr.rs2)
-            )
-        elif op == Opcode.BGE:
-            taken = to_signed64(m.read_reg(instr.rs1)) >= to_signed64(
-                m.read_reg(instr.rs2)
-            )
-        elif op == Opcode.BL:
-            taken = True
-            result = program.pc_of(index + 1)
-            dest = rd
-            next_index = instr.target
-            target_pc = program.pc_of(next_index)
-        elif op == Opcode.RET:
-            taken = True
-            return_pc = m.read_reg(instr.rs1)
-            next_index = program.index_of(return_pc)
-            target_pc = return_pc
-        elif op == Opcode.FADD:
-            result = _fp_op(lambda a, b: a + b, regs[instr.rs1], regs[instr.rs2])
-            dest = rd
-        elif op == Opcode.FSUB:
-            result = _fp_op(lambda a, b: a - b, regs[instr.rs1], regs[instr.rs2])
-            dest = rd
-        elif op == Opcode.FMUL:
-            result = _fp_op(lambda a, b: a * b, regs[instr.rs1], regs[instr.rs2])
-            dest = rd
-        elif op == Opcode.FDIV:
-            result = _fp_op(lambda a, b: a / b, regs[instr.rs1], regs[instr.rs2])
-            dest = rd
-        elif op == Opcode.FMOV:
-            result = regs[instr.rs1]
-            dest = rd
-        elif op == Opcode.FMOVI:
-            result = mask64(instr.imm)
-            dest = rd
-        elif op == Opcode.FLDR:
-            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
-            result = m.load_word(addr)
-            dest = rd
-        elif op == Opcode.FSTR:
-            addr = mask64(m.read_reg(instr.rs1) + instr.imm) & ~7
-            m.store_word(addr, regs[instr.rs2])
-        elif op == Opcode.NOP:
-            pass
-        else:  # pragma: no cover - defensive
-            raise InterpreterError(f"unimplemented opcode {op!r}")
+        if handler is not None:
+            dest, result, addr = handler(m, instr)
+            next_index = index + 1
+        else:
+            # ---- control flow (and HALT), PC-owning path --------------
+            op = instr.opcode
+            dest = NO_REG
+            result = 0
+            addr = NO_ADDR
+            next_index = index + 1
 
-        # Conditional branches resolve their target only if taken.
-        if instr.info.is_conditional:
-            if taken:
+            if op == Opcode.HALT:
+                break
+            if op == Opcode.B:
+                taken = True
                 next_index = instr.target
                 target_pc = program.pc_of(next_index)
-            else:
-                target_pc = program.pc_of(index + 1)
+            elif op == Opcode.BEQ:
+                taken = regs[src1] == regs[src2]
+            elif op == Opcode.BNE:
+                taken = regs[src1] != regs[src2]
+            elif op == Opcode.BLT:
+                taken = to_signed64(regs[src1]) < to_signed64(regs[src2])
+            elif op == Opcode.BGE:
+                taken = to_signed64(regs[src1]) >= to_signed64(regs[src2])
+            elif op == Opcode.BL:
+                taken = True
+                result = program.pc_of(index + 1)
+                dest = instr.rd
+                next_index = instr.target
+                target_pc = program.pc_of(next_index)
+            elif op == Opcode.RET:
+                taken = True
+                return_pc = regs[src1]
+                next_index = program.index_of(return_pc)
+                target_pc = return_pc
+            else:  # pragma: no cover - defensive
+                raise InterpreterError(f"unimplemented opcode {op!r}")
+
+            # Conditional branches resolve their target only if taken.
+            if is_conditional:
+                if taken:
+                    next_index = instr.target
+                    target_pc = program.pc_of(next_index)
+                else:
+                    target_pc = program.pc_of(index + 1)
 
         if dest != NO_REG:
-            m.write_reg(dest, result)
-            if dest == XZR:
+            if dest != XZR:
+                regs[dest] = result & MASK64
+            else:
                 dest = NO_REG  # architectural no-op: not a result producer
                 result = 0
 
         append(
             DynInst(
                 seq=seq,
-                pc=pc,
-                opcode=op,
+                pc=pcs[index],
+                opcode=instr.opcode,
                 dest=dest,
-                src1=instr.rs1 if instr.info.reads_rs1 else NO_REG,
-                src2=instr.rs2 if instr.info.reads_rs2 else NO_REG,
+                src1=src1,
+                src2=src2,
                 result=result,
                 addr=addr,
                 taken=taken,
                 target_pc=target_pc,
-                zero_idiom=instr.is_zero_idiom(),
-                move=instr.is_move(),
+                zero_idiom=zero_idiom,
+                move=move,
             )
         )
         seq += 1
