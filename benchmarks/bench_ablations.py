@@ -10,16 +10,16 @@
 
 import dataclasses
 
-from conftest import bench_windows
+from conftest import bench_windows, make_runner
 
 from repro.common.rng import XorShift64
 from repro.core.hashing import hash_collision_rate
 from repro.core.rsep import RsepConfig
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import shared_engine
 from repro.pipeline.config import MechanismConfig
 from repro.pipeline.core import Pipeline
-from repro.workloads.spec2006 import generate_trace
+from repro.pipeline.simulator import _TRACE_SLACK
 
 #: Benchmarks with deep and shallow pair distances respectively.
 DEPTH_BENCHMARKS = ["hmmer", "xalancbmk", "mcf", "dealII", "omnetpp"]
@@ -33,10 +33,7 @@ def _rsep_variant(name, **overrides):
 
 
 def run_history_depth():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=DEPTH_BENCHMARKS, warmup=warmup, measure=measure
-    )
+    runner = make_runner(benchmarks=DEPTH_BENCHMARKS)
     variants = [
         MechanismConfig.baseline(),
         _rsep_variant("hist32", history_entries=32),
@@ -72,11 +69,7 @@ def test_history_depth(benchmark):
 
 
 def run_ddt_vs_fifo():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=["mcf", "hmmer", "dealII", "libquantum"],
-        warmup=warmup, measure=measure,
-    )
+    runner = make_runner(benchmarks=["mcf", "hmmer", "dealII", "libquantum"])
     variants = [
         MechanismConfig.baseline(),
         _rsep_variant("fifo", pairing="fifo", history_entries=128),
@@ -106,10 +99,7 @@ def test_ddt_vs_fifo(benchmark):
 
 
 def run_isrb_sweep():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=["mcf", "dealII", "hmmer"], warmup=warmup, measure=measure
-    )
+    runner = make_runner(benchmarks=["mcf", "dealII", "hmmer"])
     variants = [MechanismConfig.baseline()] + [
         _rsep_variant(f"isrb{entries}", isrb_entries=entries)
         for entries in (4, 12, 24, 64)
@@ -158,11 +148,7 @@ def test_hash_width(benchmark):
 
 
 def run_predictor_kind():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=["mcf", "hmmer", "dealII", "omnetpp"],
-        warmup=warmup, measure=measure,
-    )
+    runner = make_runner(benchmarks=["mcf", "hmmer", "dealII", "omnetpp"])
     variants = [
         MechanismConfig.baseline(),
         _rsep_variant("tage-dist", predictor_kind="tage"),
@@ -197,8 +183,12 @@ def test_predictor_kind(benchmark):
 def run_comparator_study():
     warmup, measure = bench_windows()
     groups = {}
+    # Traces via the shared engine's simulator: served by the persistent
+    # store / in-memory cache instead of a private re-interpretation,
+    # sized exactly like Simulator.run_benchmark sizes them.
+    simulator = shared_engine().simulator
     for name in ("lbm", "gamess", "gobmk", "mcf"):
-        trace = generate_trace(name, warmup + measure + 4096, seed=1)
+        trace = simulator.trace_for(name, 1, warmup + measure + _TRACE_SLACK)
         pipeline = Pipeline(
             trace, mechanisms=MechanismConfig.rsep_ideal(), seed=1
         )

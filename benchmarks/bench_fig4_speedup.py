@@ -1,10 +1,9 @@
 """Figure 4: speedup over baseline for zero prediction, move elimination,
 RSEP (ideal), value prediction, and RSEP + VP."""
 
-from conftest import bench_benchmarks, bench_windows
+from conftest import make_runner
 
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MechanismConfig
 
 MECHANISMS = [
@@ -18,10 +17,7 @@ MECHANISMS = [
 
 
 def run_fig4():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
-    )
+    runner = make_runner()
     runner.run(MECHANISMS)
     table = Table([
         "benchmark", "base IPC", "zero%", "move%", "rsep%", "vpred%",

@@ -1,18 +1,14 @@
 """Figure 5: percentage of committed instructions covered by each
 mechanism — RSEP alone, then VP on top of RSEP."""
 
-from conftest import bench_benchmarks, bench_windows
+from conftest import make_runner
 
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MechanismConfig
 
 
 def run_fig5():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
-    )
+    runner = make_runner()
     runner.run([MechanismConfig.rsep_ideal(), MechanismConfig.rsep_plus_vp()])
     table = Table([
         "benchmark", "config", "idiom%", "move%", "zero%", "dist%",

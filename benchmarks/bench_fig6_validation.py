@@ -5,11 +5,10 @@ issue-twice to any FU, and issue-twice-any-FU with sampling at start-train
 thresholds 15 and 63.
 """
 
-from conftest import bench_benchmarks, bench_windows
+from conftest import make_runner
 
 from repro.core.validation import ValidationMode
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MechanismConfig
 
 VARIANTS = [
@@ -27,10 +26,7 @@ VARIANTS = [
 
 
 def run_fig6():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
-    )
+    runner = make_runner()
     runner.run(VARIANTS)
     table = Table([
         "benchmark", "ideal%", "lockFU%", "anyFU%", "samp15%", "samp63%",

@@ -2,21 +2,17 @@
 the realistic 10.1KB configuration (128-entry FIFO history, 24-entry ISRB,
 sampling threshold 63, re-issue validation)."""
 
-from conftest import bench_benchmarks, bench_windows
+from conftest import make_runner
 
 from repro.common.history import GlobalHistory, PathHistory
 from repro.common.rng import XorShift64
 from repro.core.rsep import RsepConfig, RsepUnit
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import MechanismConfig
 
 
 def run_fig7():
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
-    )
+    runner = make_runner()
     runner.run([
         MechanismConfig.baseline(),
         MechanismConfig.rsep_ideal(),

@@ -1,10 +1,9 @@
 """Table I: the simulator configuration, plus baseline IPC per benchmark
 (the sanity row every evaluation starts from)."""
 
-from conftest import bench_benchmarks, bench_windows
+from conftest import make_runner
 
 from repro.harness.reporting import Table, harmonic_mean
-from repro.harness.runner import ExperimentRunner
 from repro.pipeline.config import CoreConfig, MechanismConfig
 
 
@@ -21,10 +20,7 @@ def run_table1():
           f"{config.memory.l2_latency} / {config.memory.l3_latency}")
     print(f"  STLF latency              : {config.stlf_latency}")
 
-    warmup, measure = bench_windows()
-    runner = ExperimentRunner(
-        benchmarks=bench_benchmarks(), warmup=warmup, measure=measure
-    )
+    runner = make_runner()
     runner.run([MechanismConfig.baseline()])
     table = Table(["benchmark", "baseline IPC", "branch MPKI"])
     ipcs = []

@@ -4,12 +4,21 @@ Timing benches default to a representative benchmark subset and laptop
 windows so `pytest benchmarks/ --benchmark-only` completes in minutes.
 Set ``REPRO_FULL=1`` for all 29 benchmarks and ``REPRO_WARMUP`` /
 ``REPRO_MEASURE`` / ``REPRO_SEEDS`` for higher fidelity.
+
+Every bench builds its runner through :func:`make_runner`, which routes
+through the process-wide :class:`~repro.harness.sweep.SweepEngine`: all
+benches of one session share the persistent trace store (each functional
+trace is interpreted at most once per machine) and the cell memo (cells
+appearing in several figures — fig. 4's baseline is also fig. 6's,
+fig. 7's and Table I's — are simulated exactly once per session).
 """
 
 import os
 
 import pytest
 
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import shared_engine
 from repro.workloads.spec2006 import benchmark_names
 
 #: Subset covering every behaviour class the paper discusses: RSEP wins
@@ -32,6 +41,17 @@ def bench_windows() -> tuple[int, int]:
     warmup = int(os.environ.get("REPRO_WARMUP", "8000"))
     measure = int(os.environ.get("REPRO_MEASURE", "24000"))
     return warmup, measure
+
+
+def make_runner(benchmarks: list[str] | None = None) -> ExperimentRunner:
+    """An :class:`ExperimentRunner` on the session-shared sweep engine."""
+    warmup, measure = bench_windows()
+    return ExperimentRunner(
+        benchmarks=benchmarks or bench_benchmarks(),
+        warmup=warmup,
+        measure=measure,
+        engine=shared_engine(),
+    )
 
 
 @pytest.fixture(scope="session")

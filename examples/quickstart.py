@@ -5,21 +5,26 @@ Usage::
 
     python examples/quickstart.py [benchmark]
 
-Shows the core public API: build a Simulator, pick a MechanismConfig, run,
-and read IPC/coverage/accuracy off the stats object.
+Shows the core public API: get the shared sweep engine, pick a
+MechanismConfig, run cells, and read IPC/coverage/accuracy off the stats
+object.  The engine is the same code path the figure benches use — its
+simulator serves traces from the persistent on-disk trace store, so the
+second invocation of this script skips interpretation entirely, and
+identical cells are simulated only once per process.
 """
 
 import sys
 
-from repro import MechanismConfig, Simulator
+from repro import MechanismConfig
+from repro.harness.sweep import shared_engine
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "dealII"
-    simulator = Simulator()
+    engine = shared_engine()
 
-    base = simulator.run_benchmark(benchmark, MechanismConfig.baseline())
-    rsep = simulator.run_benchmark(benchmark, MechanismConfig.rsep_ideal())
+    base = engine.run_cell(benchmark, MechanismConfig.baseline())
+    rsep = engine.run_cell(benchmark, MechanismConfig.rsep_ideal())
 
     print(f"benchmark          : {benchmark}")
     print(f"baseline IPC       : {base.ipc:.3f}")
@@ -30,6 +35,10 @@ def main() -> None:
           f"({stats.coverage_fraction(stats.dist_pred):.1%} of committed)")
     print(f"RSEP accuracy      : {stats.rsep_accuracy:.4f}")
     print(f"squashes (RSEP)    : {stats.squashes_rsep}")
+    store = engine.simulator.trace_store
+    if store is not None:
+        print(f"trace store        : {store.root} "
+              f"(hits {store.hits}, misses {store.misses})")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ paper-vs-measured record of every figure.
 from repro.core.rsep import RsepConfig, RsepUnit
 from repro.core.validation import ValidationMode
 from repro.core.vp_engine import VpConfig, VpEngine
+from repro.harness.sweep import SweepEngine, shared_engine
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.simulator import SimulationResult, Simulator
@@ -52,10 +53,12 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "Stats",
+    "SweepEngine",
     "ValidationMode",
     "VpConfig",
     "VpEngine",
     "__version__",
     "benchmark_names",
     "generate_trace",
+    "shared_engine",
 ]

@@ -7,9 +7,10 @@ pipeline (they touch register ready times, LSQ state and RSEP validation
 ordering); the IQ provides bounded storage and ordered iteration.
 
 Removal is O(1) amortised: issued entries are tombstoned in place (the
-entry list keeps age order, with a side index from entry identity to
-position) and the list is compacted only when tombstones dominate, which
-eliminates the per-cycle full-list rebuilds of the original scheduler.
+entry list keeps age order, with each op carrying its own position in
+``iq_index`` — no side dict to maintain) and the list is compacted only
+when tombstones dominate, which eliminates the per-cycle full-list
+rebuilds of the original scheduler.
 """
 
 from __future__ import annotations
@@ -23,7 +24,6 @@ class IssueQueue:
             raise ValueError("IQ needs at least one entry")
         self.capacity = capacity
         self._entries: list = []       # age order; None marks a tombstone
-        self._positions: dict[int, int] = {}  # id(op) -> index in _entries
         self._live = 0
 
     def __len__(self) -> int:
@@ -40,8 +40,9 @@ class IssueQueue:
     def insert(self, op) -> None:
         if self._live >= self.capacity:
             raise OverflowError("IQ overflow")
-        self._positions[id(op)] = len(self._entries)
-        self._entries.append(op)
+        entries = self._entries
+        op.iq_index = len(entries)
+        entries.append(op)
         self._live += 1
 
     def remove_issued(self, issued: list) -> None:
@@ -49,20 +50,19 @@ class IssueQueue:
         if not issued:
             return
         entries = self._entries
-        positions = self._positions
         for op in issued:
-            index = positions.pop(id(op), None)
-            if index is not None and entries[index] is op:
+            index = op.iq_index
+            if index >= 0 and entries[index] is op:
                 entries[index] = None
+                op.iq_index = -1
                 self._live -= 1
         if len(entries) > 2 * self._live + 16:
             self._compact()
 
     def _compact(self) -> None:
         self._entries = [op for op in self._entries if op is not None]
-        self._positions = {
-            id(op): index for index, op in enumerate(self._entries)
-        }
+        for index, op in enumerate(self._entries):
+            op.iq_index = index
 
     def squash(self, predicate) -> int:
         """Drop entries matching *predicate*; returns how many."""
@@ -71,8 +71,7 @@ class IssueQueue:
             op for op in self._entries
             if op is not None and not predicate(op)
         ]
-        self._positions = {
-            id(op): index for index, op in enumerate(self._entries)
-        }
+        for index, op in enumerate(self._entries):
+            op.iq_index = index
         self._live = len(self._entries)
         return before - self._live

@@ -9,6 +9,8 @@ module implements exactly that.
 
 from __future__ import annotations
 
+from repro.common.bitops import fold_bits
+
 
 class FoldedRegister:
     """Incrementally maintained XOR-fold of the last *history_bits* bits.
@@ -160,6 +162,28 @@ class GlobalHistory:
         self._bits = bits
         for fold, value in zip(self._folds.values(), fold_values):
             fold.value = value
+
+    def snapshot_raw(self) -> int:
+        """O(1) checkpoint: the raw shift register alone.
+
+        Every folded register is a pure XOR-fold of its window of the raw
+        history (each bit of age ``i`` contributes at folded position
+        ``i % folded_bits`` — exactly :func:`repro.common.bitops.fold_bits`
+        of the window), so the raw bits determine all fold values and
+        :meth:`restore_raw` can rebuild them.  Taking the checkpoint is a
+        single int reference — the lazy-snapshot fast path for the fetch
+        stage, which checkpoints on *every* fetched branch while restores
+        happen only on the (much rarer) squashes.
+        """
+        return self._bits
+
+    def restore_raw(self, bits: int) -> None:
+        """Restore from :meth:`snapshot_raw`, recomputing every fold."""
+        self._bits = bits
+        for (history_bits, folded_bits), fold in self._folds.items():
+            fold.value = fold_bits(
+                bits & ((1 << history_bits) - 1), history_bits, folded_bits
+            )
 
     def reset(self) -> None:
         self._bits = 0

@@ -50,6 +50,16 @@ class DistanceDependencyTable:
         self._last_index[value_hash & self._mask] = index
         return index
 
+    def push_group(self, hashes) -> None:
+        """Batch form of ``push`` (interface parity with FifoHistory)."""
+        index = self._count
+        last_index = self._last_index
+        mask = self._mask
+        for value_hash in hashes:
+            last_index[value_hash & mask] = index
+            index += 1
+        self._count = index
+
     def find(
         self,
         value_hash: int,
@@ -72,6 +82,22 @@ class DistanceDependencyTable:
             return None
         self.matches += 1
         return distance
+
+    def find_push_group(self, hashes, prefs, max_distance: int) -> list:
+        """Fused search+push pass (interface parity with FifoHistory).
+
+        ``prefs[i] < 0`` means push-only; otherwise search first (the DDT
+        cannot honour a preferred distance — see :meth:`find`).
+        """
+        results = []
+        for value_hash, pref in zip(hashes, prefs):
+            results.append(
+                self.find(value_hash, max_distance, pref if pref > 0 else None)
+                if pref >= 0
+                else None
+            )
+            self.push(value_hash)
+        return results
 
     def record_commit_group(self, eligible_in_group: int) -> None:
         """Interface parity with FifoHistory; the DDT has no comparators."""

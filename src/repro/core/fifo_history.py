@@ -71,6 +71,30 @@ class FifoHistory:
             popleft()
         return index
 
+    def push_group(self, hashes) -> None:
+        """Record one commit group's producers in a single pass.
+
+        Equivalent to ``push`` per hash, with the counter and the
+        positions dict held in locals across the group — the batch path
+        the commit loop uses (§IV.D.2 performs the group's N pushes in
+        parallel in hardware).
+        """
+        index = self._count
+        positions = self._positions
+        entries = self.entries
+        for value_hash in hashes:
+            bucket = positions.get(value_hash)
+            if bucket is None:
+                positions[value_hash] = deque((index,))
+            else:
+                bucket.append(index)
+                oldest_live = index + 1 - entries
+                popleft = bucket.popleft
+                while bucket[0] < oldest_live:
+                    popleft()
+            index += 1
+        self._count = index
+
     def find(
         self,
         value_hash: int,
@@ -103,6 +127,69 @@ class FifoHistory:
         if best is not None:
             self.matches += 1
         return best
+
+    def find_push_group(
+        self, hashes, prefs, max_distance: int
+    ) -> list:
+        """One fused pass over a commit group: search, then push, per op.
+
+        ``prefs[i]`` encodes the search request for ``hashes[i]``:
+        ``-1`` — push only (no search); ``0`` — search without a
+        preferred distance; ``> 0`` — search preferring that distance
+        (§VI.A.2).  Returns one entry per op (``None`` where no search
+        was requested or nothing matched).  Search-then-push order per
+        op, and therefore every distance and every counter, is identical
+        to interleaved :meth:`find`/:meth:`push` calls; the batch merely
+        keeps the window state in locals across the group.
+        """
+        positions = self._positions
+        entries = self.entries
+        count = self._count
+        limit = min(entries, max_distance)
+        searches = 0
+        matches = 0
+        preferred_matches = 0
+        results = []
+        append = results.append
+        for value_hash, pref in zip(hashes, prefs):
+            # ---- search (distances measured before this op's push) ----
+            if pref < 0:
+                append(None)
+            else:
+                searches += 1
+                observed = None
+                bucket = positions.get(value_hash)
+                if bucket:
+                    best = None
+                    for index in reversed(bucket):
+                        distance = count - index
+                        if distance > limit:
+                            break
+                        if best is None:
+                            best = distance
+                        if distance == pref:
+                            preferred_matches += 1
+                            best = distance
+                            break
+                    if best is not None:
+                        matches += 1
+                        observed = best
+                append(observed)
+            # ---- push -------------------------------------------------
+            bucket = positions.get(value_hash)
+            if bucket is None:
+                positions[value_hash] = deque((count,))
+            else:
+                bucket.append(count)
+                oldest_live = count + 1 - entries
+                while bucket[0] < oldest_live:
+                    bucket.popleft()
+            count += 1
+        self._count = count
+        self.searches += searches
+        self.matches += matches
+        self.preferred_matches += preferred_matches
+        return results
 
     def record_commit_group(self, eligible_in_group: int) -> None:
         """Track commit-group sizes for the comparator-count study."""

@@ -126,7 +126,35 @@ class RsepUnit:
         self.hrf = HashRegisterFile(hash_bits=config.hash_bits)
         self._hash_bits = config.hash_bits
         self._hash_mask = (1 << config.hash_bits) - 1
+        self._fold_group = self._build_fold_group(config.hash_bits)
         self.stats = RsepStats()
+
+    @staticmethod
+    def _build_fold_group(hash_bits: int):
+        """Unrolled ``fold_hash`` over a commit group's results.
+
+        The per-value chunk loop (XOR ``hash_bits``-wide slices of a
+        64-bit value) is flattened into one masked XOR expression —
+        results are already masked to 64 bits by the interpreter, so
+        ``ceil(64 / hash_bits)`` shifted terms cover every chunk — and
+        the whole group is hashed in a single comprehension, the software
+        analogue of the parallel commit-side hash ports.  Cross-checked
+        against ``repro.common.bitops.fold_hash`` in the determinism
+        tests.
+        """
+        shifts = range(hash_bits, 64, hash_bits)
+        expression = "(v := op.d.result)" + "".join(
+            f" ^ (v >> {shift})" for shift in shifts
+        )
+        namespace: dict = {}
+        exec(  # noqa: S102 - static template, no external input
+            "def fold_group(ops):\n"
+            "    return [({expr}) & {mask} for op in ops]".format(
+                expr=expression, mask=(1 << hash_bits) - 1
+            ),
+            namespace,
+        )
+        return namespace["fold_group"]
 
     # ------------------------------------------------------------------
     # Rename side
@@ -157,6 +185,15 @@ class RsepUnit:
         without sampling every looked-up producer searches the history,
         with sampling a single randomly chosen one does and the *likely
         candidates* train through the validation comparison instead.
+
+        The group is processed batch-wise, mirroring the parallel
+        comparators of §IV.D.2: all result hashes are computed up front
+        (one unrolled fold expression per value) and history pushes run
+        through ``push_group``.  History searches must observe exactly the
+        producers older than the searching instruction, so pushes are
+        flushed up to each search point; predictor trainings keep their
+        original producer order (pushes never touch predictor state, so
+        deferring them past a training is behaviour-preserving).
         """
         if not producers:
             return
@@ -170,37 +207,49 @@ class RsepUnit:
             if candidates:
                 selected = candidates[self._rng.next_below(len(candidates))]
 
-        # Inlined fold hash (repro.common.bitops.fold_hash) — results are
-        # already masked to 64 bits by the interpreter.
-        hash_bits = self._hash_bits
-        hash_mask = self._hash_mask
+        hashes = self._fold_group(producers)
         self.hrf.reads += len(producers)  # one commit-side read each
         predictor = self.predictor
-        pairing_push = pairing.push
         max_distance = self.max_distance
-        for op in producers:
-            value = op.d.result
-            value_hash = 0
-            while value:
-                value_hash ^= value & hash_mask
-                value >>= hash_bits
-            prediction = op.dist_pred
-            if prediction is not None:
-                if not sampling:
+
+        if sampling:
+            # At most one history search per group: push everything older
+            # than the selected producer, search, then push the rest.
+            pushed = 0
+            for position, op in enumerate(producers):
+                prediction = op.dist_pred
+                if prediction is None:
+                    continue
+                if op is selected:
+                    if position > pushed:
+                        pairing.push_group(hashes[pushed:position])
+                        pushed = position
                     observed = pairing.find(
-                        value_hash,
-                        max_distance,
-                        prediction.distance if prediction.distance else None,
+                        hashes[position], max_distance, None
                     )
-                    predictor.train_from_pairing(prediction, observed)
-                elif op is selected:
-                    observed = pairing.find(value_hash, max_distance, None)
                     predictor.train_from_pairing(prediction, observed)
                 elif op.likely_candidate and op.producer is not None:
                     predictor.train_from_validation(
                         prediction, op.d.result == op.producer.d.result
                     )
-            pairing_push(value_hash)
+            pairing.push_group(hashes[pushed:])
+            return
+
+        # No sampling: every looked-up producer searches the history as
+        # of its own commit point.  The searches and pushes run as one
+        # fused pass inside the pairing structure; trainings follow in
+        # producer order (they touch predictor state only, never the
+        # pairing, so hoisting them out of the pass is order-safe).
+        prefs = [
+            -1 if op.dist_pred is None else (op.dist_pred.distance or 0)
+            for op in producers
+        ]
+        observed_list = pairing.find_push_group(hashes, prefs, max_distance)
+        train = predictor.train_from_pairing
+        for op, observed in zip(producers, observed_list):
+            prediction = op.dist_pred
+            if prediction is not None:
+                train(prediction, observed)
 
     def on_commit_used(self, op, correct: bool) -> None:
         """Accounting for a committed (or squashing) confident prediction."""

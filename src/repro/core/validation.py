@@ -15,11 +15,20 @@ catches the result on the bypass network.  Three cost models:
 Validation µ-ops are prioritised by the picker and become eligible only
 when the validated instruction's result is available (its completion
 cycle), which generalises the fixed/variable-latency handling of §IV.F.1a.
+
+The queue is *indexed by completion cycle*, mirroring the scheduler's
+wakeup map: a requested µ-op is parked in a bucket keyed by the cycle its
+operand arrives, and the per-cycle issue pass touches only µ-ops that are
+actually eligible (due buckets drained into an eligible list) instead of
+scanning every pending entry.  Request order is preserved across buckets
+with a monotone ticket so the picker's priority — and therefore every
+statistic — is identical to the linear-scan implementation.
 """
 
 from __future__ import annotations
 
 from enum import Enum
+from heapq import heappop, heappush
 
 from repro.backend.fu import IssuePorts
 
@@ -33,16 +42,25 @@ class ValidationMode(Enum):
 
 
 class ValidationQueue:
-    """Pending validation µ-ops awaiting issue."""
+    """Pending validation µ-ops, bucketed by operand-arrival cycle."""
 
     def __init__(self, mode: ValidationMode) -> None:
         self.mode = mode
-        self._pending: list = []  # ops, kept oldest-first
+        # (ticket, op) pairs whose completion cycle has passed, kept in
+        # request order; tickets make the order total across buckets.
+        self._eligible: list = []
+        # completion cycle -> [(ticket, op), ...] not yet eligible.
+        self._buckets: dict[int, list] = {}
+        # Min-heap of bucket keys with lazy deletion (keys may linger
+        # after a squash empties their bucket).
+        self._heap: list[int] = []
+        self._pending_count = 0
+        self._ticket = 0
         self.issued = 0
         self.delayed_cycles = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return self._pending_count
 
     def request(self, op) -> None:
         """Register a validation µ-op for *op*.
@@ -50,41 +68,100 @@ class ValidationQueue:
         In IDEAL mode validation completes with the instruction itself.
         Otherwise the µ-op becomes ready at the instruction's completion
         (its operand arrives on the bypass network) and must win an issue
-        port; the compare takes one cycle.
+        port; the compare takes one cycle.  ``op.complete_cycle`` is
+        always known here — validation is requested at issue, after the
+        completion cycle was assigned — which is what makes the bucket
+        key available up front.
         """
         if self.mode is ValidationMode.IDEAL:
             op.validation_done_cycle = op.complete_cycle
             return
-        self._pending.append(op)
+        ticket = self._ticket
+        self._ticket = ticket + 1
+        ready = op.complete_cycle
+        bucket = self._buckets.get(ready)
+        if bucket is None:
+            self._buckets[ready] = [(ticket, op)]
+            heappush(self._heap, ready)
+        else:
+            bucket.append((ticket, op))
+        self._pending_count += 1
+
+    def next_ready_cycle(self) -> int | None:
+        """Earliest cycle at which a pending µ-op can issue (None if none).
+
+        Used by the idle fast-forward: an already-eligible µ-op means
+        "now" (returned as cycle 0, which never allows a skip), otherwise
+        the earliest bucket key is the next event.
+        """
+        if self.mode is ValidationMode.IDEAL or not self._pending_count:
+            return None
+        if self._eligible:
+            return 0
+        heap = self._heap
+        buckets = self._buckets
+        while heap and heap[0] not in buckets:
+            heappop(heap)  # stale key: bucket drained or squashed empty
+        return heap[0] if heap else None
 
     def issue_cycle(self, cycle: int, ports: IssuePorts) -> list:
         """Issue ready validation µ-ops at *cycle* (picker priority).
 
         Returns the ops whose validation issued.  Must be called before
         normal instruction selection so validations claim ports first
-        (§IV.F.1).
+        (§IV.F.1).  On port exhaustion the pass stops — request order is
+        priority order, exactly like the linear scan.
         """
-        if self.mode is ValidationMode.IDEAL or not self._pending:
+        if self.mode is ValidationMode.IDEAL or not self._pending_count:
             return []
+        eligible = self._eligible
+        heap = self._heap
+        buckets = self._buckets
+        drained = False
+        while heap and heap[0] <= cycle:
+            bucket = buckets.pop(heappop(heap), None)
+            if bucket:
+                eligible.extend(bucket)
+                drained = True
+        if not eligible:
+            return []
+        if drained and len(eligible) > 1:
+            eligible.sort()  # restore request order across buckets
         lock = self.mode is ValidationMode.REISSUE_LOCK_FU
+        try_issue_validation = ports.try_issue_validation
         issued = []
-        for op in self._pending:
-            if op.complete_cycle is None or op.complete_cycle > cycle:
-                continue
-            fu = op.d.fu  # already a FuClass (precomputed at trace build)
-            if not ports.try_issue_validation(fu, cycle, lock):
+        taken = 0
+        for ticket, op in eligible:
+            # op.d.fu is already a FuClass (precomputed at trace build).
+            if not try_issue_validation(op.d.fu, cycle, lock):
                 break  # ports exhausted this cycle; keep priority order
             op.validation_done_cycle = cycle + 1
             self.delayed_cycles += cycle - op.complete_cycle
             issued.append(op)
-        if issued:
-            self.issued += len(issued)
-            issued_ids = set(map(id, issued))
-            self._pending = [
-                op for op in self._pending if id(op) not in issued_ids
-            ]
+            taken += 1
+        if taken:
+            del eligible[:taken]
+            self.issued += taken
+            self._pending_count -= taken
         return issued
 
     def squash(self, min_seq: int) -> None:
         """Drop validation requests of squashed instructions."""
-        self._pending = [op for op in self._pending if op.d.seq < min_seq]
+        if self.mode is ValidationMode.IDEAL or not self._pending_count:
+            return
+        kept = [
+            entry for entry in self._eligible if entry[1].d.seq < min_seq
+        ]
+        count = len(kept)
+        self._eligible = kept
+        empty_keys = []
+        for key, bucket in self._buckets.items():
+            kept = [entry for entry in bucket if entry[1].d.seq < min_seq]
+            if kept:
+                self._buckets[key] = kept
+                count += len(kept)
+            else:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del self._buckets[key]  # heap key removed lazily
+        self._pending_count = count

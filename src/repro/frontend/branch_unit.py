@@ -34,7 +34,9 @@ class FetchOutcome:
     decode_redirect: bool
     tage: BranchPrediction | None
     ras_checkpoint: int
-    history_snapshot: tuple
+    #: Lazy checkpoint: the raw global-history bits alone.  Folded views
+    #: are recomputed on restore (squash), which is far rarer than fetch.
+    history_snapshot: int
     path_snapshot: int
     pc: int
     taken: bool
@@ -69,7 +71,7 @@ class BranchUnit:
 
     def fetch_branch(self, op: DynInst) -> FetchOutcome:
         """Predict *op* at fetch time; speculatively updates history/RAS."""
-        history_snapshot = self.history.snapshot()
+        history_snapshot = self.history.snapshot_raw()
         path_snapshot = self.path.snapshot()
         ras_checkpoint = self.ras.checkpoint()
 
@@ -128,7 +130,7 @@ class BranchUnit:
 
     def squash_to(self, outcome: FetchOutcome) -> None:
         """Restore front-end speculation state to just before *outcome*."""
-        self.history.restore(outcome.history_snapshot)
+        self.history.restore_raw(outcome.history_snapshot)
         self.path.restore(outcome.path_snapshot)
         self.ras.restore(outcome.ras_checkpoint)
 

@@ -36,7 +36,6 @@ from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.simulator import (
     _TRACE_SLACK,  # match Simulator.run_benchmark's trace sizing exactly
-    Simulator,
     default_windows,
 )
 
@@ -133,7 +132,12 @@ def measure_throughput(
     if repeats <= 0:
         raise ValueError("repeats must be positive")
 
-    simulator = Simulator(core_config)
+    # Traces come from the shared sweep engine's simulator: in-memory
+    # across this process's cells, persistent (trace store) across
+    # sessions — the timed region stays the pipeline alone either way.
+    from repro.harness.sweep import shared_engine
+
+    simulator = shared_engine(core_config).simulator
     instructions = warmup + measure
     report = PerfReport(warmup=warmup, measure=measure, repeats=repeats)
 

@@ -4,47 +4,32 @@ Follows the paper's methodology (§V): several checkpoints (seeds) per
 benchmark, per-benchmark IPC as the harmonic mean across checkpoints, and
 speedups against the matching baseline runs.
 
-Sweeps can optionally fan out over worker processes (``run(...,
-workers=N)``): cells are distributed at (benchmark, mechanism)
-granularity and merged back in task order, so results are byte-identical
-to a sequential sweep — each cell's simulation is deterministic and
-independent (workers rebuild their own traces; the functional interpreter
-is deterministic, so a trace built in any process is identical).
+Execution is delegated to the shared
+:class:`~repro.harness.sweep.SweepEngine`: runners constructed with the
+default core configuration share one process-wide engine, so traces are
+interpreted at most once per machine (via the persistent trace store) and
+identical cells — the same benchmark, window, seed and mechanism
+*settings*, regardless of preset name — are simulated exactly once per
+process no matter how many runners ask for them.  Cells are deterministic
+and run on fresh pipelines, so memoised results are bit-identical to
+reruns.
+
+Sweeps can still fan out over worker processes (``run(..., workers=N)``):
+cells are distributed at benchmark granularity and merged back in task
+order, so results are byte-identical to a sequential sweep.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from dataclasses import dataclass, field
 
 from repro.harness.reporting import harmonic_mean
+from repro.harness.sweep import SweepEngine, shared_engine
 from repro.pipeline.config import CoreConfig, MechanismConfig
-from repro.pipeline.simulator import SimulationResult, Simulator
+from repro.pipeline.simulator import SimulationResult
 from repro.pipeline.stats import Stats
 from repro.workloads.spec2006 import benchmark_names
-
-
-def _run_benchmark_task(payload) -> list[list[SimulationResult]]:
-    """Worker entry point: run every (mechanism, seed) of one benchmark.
-
-    Top-level function so it pickles under every multiprocessing start
-    method.  Tasks are chunked per benchmark so the worker's private
-    Simulator builds each (benchmark, seed) trace once and reuses it
-    across all mechanisms — matching the sequential path's trace cache.
-    """
-    core_config, benchmark, mechanisms, seeds, warmup, measure = payload
-    simulator = Simulator(core_config)
-    return [
-        [
-            simulator.run_benchmark(
-                benchmark, mechanism,
-                warmup=warmup, measure=measure, seed=seed,
-            )
-            for seed in seeds
-        ]
-        for mechanism in mechanisms
-    ]
 
 
 def default_seeds() -> list[int]:
@@ -87,8 +72,19 @@ class ExperimentRunner:
         seeds: list[int] | None = None,
         warmup: int | None = None,
         measure: int | None = None,
+        engine: SweepEngine | None = None,
     ) -> None:
-        self.simulator = Simulator(core_config)
+        if (
+            engine is not None
+            and core_config is not None
+            and engine.core_config != core_config
+        ):
+            raise ValueError(
+                "core_config conflicts with the passed engine's; give one "
+                "or the other (cell memo keys do not cover the core config)"
+            )
+        self.engine = engine or shared_engine(core_config)
+        self.simulator = self.engine.simulator
         self.benchmarks = benchmarks or benchmark_names()
         self.seeds = seeds or default_seeds()
         self.warmup = warmup
@@ -104,52 +100,21 @@ class ExperimentRunner:
     ) -> None:
         """Execute every (benchmark, mechanism, seed) combination.
 
-        With ``workers`` > 1 the sweep fans out over that many processes;
-        results are merged deterministically (task order), so the cell
-        table is identical to a sequential run.
+        With ``workers`` > 1 missing cells fan out over that many
+        processes; results are merged deterministically (task order), so
+        the cell table is identical to a sequential run.
         """
-        if workers is not None and workers > 1:
-            self._run_parallel(mechanisms, workers)
-            return
-        for benchmark in self.benchmarks:
-            for mechanism in mechanisms:
-                self.run_cell(benchmark, mechanism)
-
-    def _run_parallel(
-        self, mechanisms: list[MechanismConfig], workers: int
-    ) -> None:
-        """Fan the un-memoised cells out over a process pool.
-
-        Chunked per benchmark: one task covers every requested mechanism
-        of that benchmark, so each worker interprets a benchmark's trace
-        once rather than once per mechanism.
-        """
-        tasks = []
-        task_mechanisms = []
-        core_config = self.simulator.core_config
-        for benchmark in self.benchmarks:
-            todo = [
-                mechanism for mechanism in mechanisms
-                if (benchmark, mechanism.name) not in self._cells
-            ]
-            if not todo:
+        swept = self.engine.sweep(
+            self.benchmarks, mechanisms,
+            seeds=self.seeds, warmup=self.warmup, measure=self.measure,
+            workers=workers,
+        )
+        for (benchmark, name), results in swept.items():
+            if (benchmark, name) in self._cells:
                 continue
-            task_mechanisms.append((benchmark, todo))
-            tasks.append((
-                core_config, benchmark, todo,
-                list(self.seeds), self.warmup, self.measure,
-            ))
-        if not tasks:
-            return
-        with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
-            benchmark_results = pool.map(_run_benchmark_task, tasks)
-        # pool.map preserves task order: the merge is deterministic.
-        for (benchmark, todo), per_mechanism in zip(
-                task_mechanisms, benchmark_results):
-            for mechanism, results in zip(todo, per_mechanism):
-                cell = BenchmarkOutcome(benchmark, mechanism.name)
-                cell.results.extend(results)
-                self._cells[(benchmark, mechanism.name)] = cell
+            self._cells[(benchmark, name)] = BenchmarkOutcome(
+                benchmark, name, list(results)
+            )
 
     def run_cell(
         self, benchmark: str, mechanism: MechanismConfig
@@ -162,12 +127,9 @@ class ExperimentRunner:
         cell = BenchmarkOutcome(benchmark, mechanism.name)
         for seed in self.seeds:
             cell.results.append(
-                self.simulator.run_benchmark(
-                    benchmark,
-                    mechanism,
-                    warmup=self.warmup,
-                    measure=self.measure,
-                    seed=seed,
+                self.engine.run_cell(
+                    benchmark, mechanism,
+                    seed=seed, warmup=self.warmup, measure=self.measure,
                 )
             )
         self._cells[key] = cell

@@ -1,0 +1,357 @@
+"""Shared sweep engine: interpret once, simulate each unique cell once.
+
+Every figure bench, ablation, example and CI gate ultimately runs the
+same kind of sweep — benchmark × mechanism × seed cells over a common
+window.  Before this module each script owned a private
+:class:`~repro.harness.runner.ExperimentRunner`, so the same functional
+trace was re-interpreted per script and the same cell (fig. 4's baseline
+is also fig. 6's, fig. 7's and Table I's) was re-simulated per script.
+The sweep engine removes both redundancies:
+
+* **Traces** come from the engine's :class:`Simulator`, which memoises in
+  memory and persists through the on-disk
+  :class:`~repro.workloads.store.TraceStore` — each trace is interpreted
+  at most once per machine, ever (build-once / run-many, in the style of
+  artifact-caching experiment infrastructures).
+* **Cells** are memoised on a content fingerprint of everything that
+  determines the result — benchmark, seed, resolved window and the full
+  mechanism configuration *minus its display name* — so two presets with
+  different names but identical settings share one simulation.  Each
+  simulation runs on a fresh ``Pipeline``, so a memoised result is
+  bit-identical to a rerun (the same determinism guarantee the golden
+  tests pin down).
+
+Sweeps fan out over worker processes when ``workers > 1`` (or
+``REPRO_WORKERS`` is set); chunking and the deterministic merge follow
+the original parallel runner.  Workers share the on-disk trace store, so
+even a cold parallel sweep interprets each trace once.
+
+``python -m repro.harness.sweep --smoke`` is the CI gate: it runs a tiny
+sweep cold, re-runs it through the memo and through a fresh engine on
+the warmed store, and fails if any path disagrees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.simulator import (
+    SimulationResult,
+    Simulator,
+    default_windows,
+)
+
+#: Cell key: (benchmark, seed, warmup, measure, mechanism fingerprint).
+CellKey = tuple[str, int, int, int, str]
+
+
+def mechanism_fingerprint(mechanism: MechanismConfig) -> str:
+    """Content fingerprint of a mechanism configuration.
+
+    The display name is excluded: it labels the experiment, not the
+    machine being simulated.  Everything else is a tree of frozen
+    dataclasses, enums and scalars with deterministic ``repr``.
+    """
+    return repr(dataclasses.replace(mechanism, name=""))
+
+
+def default_workers() -> int:
+    """Worker processes when a sweep does not say: ``REPRO_WORKERS`` or 1.
+
+    Parallelism stays opt-in (explicit ``workers=`` or the environment
+    variable) — results are identical either way, but implicit fan-out
+    would surprise profiling and CI-timing assumptions.
+    """
+    configured = os.environ.get("REPRO_WORKERS")
+    if configured:
+        return max(1, int(configured))
+    return 1
+
+
+def _copy_result(
+    result: SimulationResult, benchmark: str, name: str, seed: int
+) -> SimulationResult:
+    """A fresh result view (own ``Stats``) labelled for the caller."""
+    stats = dataclasses.replace(result.stats, extra=dict(result.stats.extra))
+    return SimulationResult(benchmark, name, seed, stats)
+
+
+def _run_cells_task(payload) -> list[SimulationResult]:
+    """Worker entry point: simulate one benchmark's missing cells.
+
+    Chunked per benchmark so the worker interprets (or, warm, loads) each
+    trace once and reuses it across mechanisms.  Workers use the parent
+    engine's trace store (its root travels in the payload; ``None`` means
+    the parent disabled persistence), so the shared on-disk store makes
+    interpretation once-per-machine even across workers.
+    """
+    from repro.workloads.store import TraceStore
+
+    core_config, store_root, benchmark, cells, warmup, measure = payload
+    store = TraceStore(store_root) if store_root is not None else None
+    simulator = Simulator(core_config, trace_store=store)
+    return [
+        simulator.run_benchmark(
+            benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
+        )
+        for mechanism, seed in cells
+    ]
+
+
+class SweepEngine:
+    """Memoising sweep executor shared by benches, examples and tests."""
+
+    def __init__(
+        self,
+        core_config: CoreConfig | None = None,
+        simulator: Simulator | None = None,
+    ) -> None:
+        self.simulator = simulator or Simulator(core_config)
+        self.core_config = self.simulator.core_config
+        self._cells: dict[CellKey, SimulationResult] = {}
+        self.cell_hits = 0
+        self.cell_misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _key(
+        self, benchmark: str, mechanism: MechanismConfig, seed: int,
+        warmup: int | None, measure: int | None,
+    ) -> CellKey:
+        if warmup is None or measure is None:
+            default_warmup, default_measure = default_windows()
+            warmup = default_warmup if warmup is None else warmup
+            measure = default_measure if measure is None else measure
+        return (
+            benchmark, seed, warmup, measure,
+            mechanism_fingerprint(mechanism),
+        )
+
+    def run_cell(
+        self,
+        benchmark: str,
+        mechanism: MechanismConfig,
+        seed: int = 1,
+        warmup: int | None = None,
+        measure: int | None = None,
+    ) -> SimulationResult:
+        """Simulate (or recall) one cell; returns a private result copy."""
+        key = self._key(benchmark, mechanism, seed, warmup, measure)
+        cached = self._cells.get(key)
+        if cached is not None:
+            self.cell_hits += 1
+            return _copy_result(cached, benchmark, mechanism.name, seed)
+        self.cell_misses += 1
+        result = self.simulator.run_benchmark(
+            benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
+        )
+        self._cells[key] = result
+        return _copy_result(result, benchmark, mechanism.name, seed)
+
+    def sweep(
+        self,
+        benchmarks: list[str],
+        mechanisms: list[MechanismConfig],
+        seeds: list[int] | None = None,
+        warmup: int | None = None,
+        measure: int | None = None,
+        workers: int | None = None,
+    ) -> dict[tuple[str, str], list[SimulationResult]]:
+        """Run every benchmark × mechanism × seed cell.
+
+        Returns ``{(benchmark, mechanism name): [result per seed]}``.
+        Memoised cells are recalled; the rest run sequentially or fan out
+        over ``workers`` processes with a deterministic task-order merge,
+        so the outcome is byte-identical either way.
+        """
+        seeds = seeds or [1]
+        if workers is None:
+            workers = default_workers()
+        prefilled: set[CellKey] = set()
+        if workers > 1:
+            prefilled = self._prefill_parallel(
+                benchmarks, mechanisms, seeds, warmup, measure, workers
+            )
+        out: dict[tuple[str, str], list[SimulationResult]] = {}
+        for benchmark in benchmarks:
+            for mechanism in mechanisms:
+                results = []
+                for seed in seeds:
+                    key = self._key(
+                        benchmark, mechanism, seed, warmup, measure
+                    )
+                    cached = self._cells.get(key)
+                    if cached is None:
+                        results.append(self.run_cell(
+                            benchmark, mechanism, seed, warmup, measure
+                        ))
+                        continue
+                    if key in prefilled:
+                        # First collection of a cell this very sweep
+                        # computed: already counted as a miss, not a
+                        # memo hit.
+                        prefilled.discard(key)
+                    else:
+                        self.cell_hits += 1
+                    results.append(_copy_result(
+                        cached, benchmark, mechanism.name, seed
+                    ))
+                out[(benchmark, mechanism.name)] = results
+        return out
+
+    def _prefill_parallel(
+        self, benchmarks, mechanisms, seeds, warmup, measure, workers
+    ) -> set[CellKey]:
+        """Fan missing cells out over a process pool, merge in task order.
+
+        Tasks carry only the (mechanism, seed) cells actually missing
+        from the memo, at seed granularity, so no cached cell is ever
+        re-simulated and the hit/miss counters stay exact.  Returns the
+        keys filled, so the caller can tell a first collection from a
+        genuine memo hit.
+        """
+        tasks = []
+        task_plan = []
+        for benchmark in benchmarks:
+            todo = [
+                (mechanism, seed)
+                for mechanism in mechanisms
+                for seed in seeds
+                if self._key(benchmark, mechanism, seed, warmup, measure)
+                not in self._cells
+            ]
+            if not todo:
+                continue
+            task_plan.append((benchmark, todo))
+            store = self.simulator.trace_store
+            tasks.append((
+                self.core_config, str(store.root) if store else None,
+                benchmark, todo, warmup, measure,
+            ))
+        filled: set[CellKey] = set()
+        if not tasks:
+            return filled
+        with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
+            per_task = pool.map(_run_cells_task, tasks)
+        for (benchmark, todo), results in zip(task_plan, per_task):
+            for (mechanism, seed), result in zip(todo, results):
+                key = self._key(benchmark, mechanism, seed, warmup, measure)
+                self._cells[key] = result
+                self.cell_misses += 1
+                filled.add(key)
+        return filled
+
+
+# ---------------------------------------------------------------------------
+# Shared default engine
+# ---------------------------------------------------------------------------
+
+_shared: SweepEngine | None = None
+
+
+def shared_engine(core_config: CoreConfig | None = None) -> SweepEngine:
+    """The process-wide engine for default-configured sweeps.
+
+    Scripts running in one process (e.g. every figure bench of a pytest
+    session) share its trace and cell memos.  A non-default core config
+    gets a private engine: cell keys do not cover the core config, so
+    sharing would be unsound.
+    """
+    global _shared
+    if core_config is not None and core_config != CoreConfig():
+        return SweepEngine(core_config)
+    if _shared is None:
+        _shared = SweepEngine()
+    return _shared
+
+
+def reset_shared_engine() -> None:
+    """Drop the process-wide engine (tests use this for isolation)."""
+    global _shared
+    _shared = None
+
+
+# ---------------------------------------------------------------------------
+# CI smoke gate
+# ---------------------------------------------------------------------------
+
+
+def _smoke() -> int:
+    """Fail (non-zero) unless memoised and store-warmed sweeps agree."""
+    import tempfile
+
+    from repro.workloads.store import TraceStore
+
+    benchmarks = ["mcf", "dealII"]
+    mechanisms = [
+        MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
+    ]
+    # workers=1: the gate checks memo/store identity via in-process
+    # counters, so it runs sequentially regardless of REPRO_WORKERS
+    # (parallel equivalence has its own test coverage).
+    kwargs = dict(seeds=[1], warmup=512, measure=2000, workers=1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-store-") as root:
+        store = TraceStore(root)
+        cold_engine = SweepEngine(simulator=Simulator(trace_store=store))
+        cold = cold_engine.sweep(benchmarks, mechanisms, **kwargs)
+        memo = cold_engine.sweep(benchmarks, mechanisms, **kwargs)
+        if cold_engine.cell_misses != len(benchmarks) * len(mechanisms):
+            print("smoke: unexpected cell miss count "
+                  f"({cold_engine.cell_misses})")
+            return 1
+        # Persistence is judged by the artifacts on disk, not the
+        # parent's counters: under REPRO_WORKERS the writes happen in
+        # worker processes.
+        stored = list(store.root.glob("*.trace"))
+        if len(stored) != len(benchmarks):
+            print(f"smoke: store did not persist ({len(stored)} artifacts "
+                  f"for {len(benchmarks)} benchmarks)")
+            return 1
+
+        warm_store = TraceStore(root)
+        warm_engine = SweepEngine(simulator=Simulator(trace_store=warm_store))
+        warm = warm_engine.sweep(benchmarks, mechanisms, **kwargs)
+        if warm_store.hits != len(benchmarks):
+            print(f"smoke: warm store missed (hits={warm_store.hits}, "
+                  f"expected {len(benchmarks)})")
+            return 1
+
+        for key in cold:
+            for a, b, c in zip(cold[key], memo[key], warm[key]):
+                if not (
+                    dataclasses.asdict(a.stats)
+                    == dataclasses.asdict(b.stats)
+                    == dataclasses.asdict(c.stats)
+                ):
+                    print(f"smoke: stats diverged for {key}")
+                    return 1
+    print("sweep smoke: cold == memoised == warm-store "
+          f"({len(cold)} cells over {benchmarks})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.sweep",
+        description="Shared sweep engine utilities.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: verify memoised and warm-store sweeps are "
+        "bit-identical to a cold sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return _smoke()
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

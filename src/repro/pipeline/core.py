@@ -51,7 +51,7 @@ from repro.core.vp_engine import VpEngine
 from repro.frontend.branch_unit import BranchUnit
 from repro.isa.instruction import DynInst, NO_REG
 from repro.isa.opcodes import FuClass
-from repro.isa.registers import reg_class
+from repro.isa.registers import FP_BASE, RegClass, reg_class
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.stats import Stats
@@ -80,27 +80,29 @@ class InflightOp:
 
     __slots__ = (
         "d", "trace_index", "rename_ready_cycle",
-        "src_pregs", "dest_preg", "old_preg",
+        "src_preg1", "src_preg2", "dest_preg", "old_preg",
         "allocated", "shared", "eliminated",
         "zero_pred", "zero_pred_used",
         "dist_pred", "dist_used", "likely_candidate",
         "producer", "equality_ok",
         "vp_pred", "vp_used", "vp_ok",
-        "fetch_outcome", "fetch_cycle",
-        "issued", "issue_cycle", "complete_cycle",
+        "fetch_outcome",
+        "issued", "complete_cycle",
         "executed", "validation_done_cycle", "retained",
         "store_dep", "forward_from",
         "committed", "squashed",
-        "waiters",
+        "waiters", "iq_index",
     )
 
-    def __init__(self, d: DynInst, trace_index: int, fetch_cycle: int,
+    def __init__(self, d: DynInst, trace_index: int,
                  rename_ready_cycle: int) -> None:
         self.d = d
         self.trace_index = trace_index
-        self.fetch_cycle = fetch_cycle
         self.rename_ready_cycle = rename_ready_cycle
-        self.src_pregs: tuple = ()
+        # Renamed source pregs (NO_REG = fewer than 1/2 sources); two
+        # scalar slots instead of a tuple keep dispatch allocation-free.
+        self.src_preg1 = NO_REG
+        self.src_preg2 = NO_REG
         self.dest_preg = NO_REG
         self.old_preg = NO_REG
         self.allocated = False
@@ -118,7 +120,6 @@ class InflightOp:
         self.vp_ok = False
         self.fetch_outcome = None
         self.issued = False
-        self.issue_cycle = None
         self.complete_cycle = None
         self.executed = False
         self.validation_done_cycle = None
@@ -130,6 +131,7 @@ class InflightOp:
         # Scheduler subscribers: ops whose issue eligibility becomes
         # computable once this op's completion cycle is known.
         self.waiters = None
+        self.iq_index = -1
 
     @property
     def validation_required(self) -> bool:
@@ -224,13 +226,30 @@ class Pipeline:
     # ==================================================================
 
     def run(self, instructions: int, warmup: int = 0) -> Stats:
-        """Warm up, then measure a window of *instructions* commits."""
-        while self._total_committed < warmup and not self._finished():
-            self._step()
-        self.stats.reset_window()
-        target = self._total_committed + instructions
-        while self._total_committed < target and not self._finished():
-            self._step()
+        """Warm up, then measure a window of *instructions* commits.
+
+        The cyclic garbage collector is paused for the duration of the
+        run: the hot loop allocates millions of short-lived,
+        reference-counted objects (in-flight ops, predictions) that
+        refcounting alone reclaims, so generation-0 passes — which also
+        rescan the long-lived trace — are pure overhead.  The previous
+        GC state is restored on exit, enabled or not.
+        """
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while self._total_committed < warmup and not self._finished():
+                self._step()
+            self.stats.reset_window()
+            target = self._total_committed + instructions
+            while self._total_committed < target and not self._finished():
+                self._step()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self.stats
 
     @property
@@ -263,6 +282,29 @@ class Pipeline:
                 f"{self.rob.head().d if not self.rob.empty else None})"
             )
 
+    def _rename_stall_cause(self, d: DynInst) -> str | None:
+        """The stats field rename charges when *d* cannot rename, or None.
+
+        This is the canonical form of the capacity checks; the 8-wide
+        rename loop inlines the same predicate over hoisted locals (kept
+        bit-identical by the golden-stats tests — edit both together).
+        """
+        if self.rob.full:
+            return "stall_rob"
+        if d.fu != FuClass.NONE and self.iq.full:
+            return "stall_iq"
+        if d.is_load and self.lsq.lq_full:
+            return "stall_lsq"
+        if d.is_store and self.lsq.sq_full:
+            return "stall_lsq"
+        if (
+            d.dest != NO_REG
+            and not d.zero_idiom
+            and self.free_list.available(reg_class(d.dest)) == 0
+        ):
+            return "stall_regs"
+        return None
+
     def _fast_forward_idle(self) -> None:
         """Skip cycles during which no pipeline stage can change state.
 
@@ -276,8 +318,25 @@ class Pipeline:
         cannot change while no event fires) is preserved exactly.
         """
         cycle = self.cycle
-        nxt = _INF
         rob = self.rob
+        fetch_buffer = self._fetch_buffer
+        stall_field = None
+        head_wait_cycle = -1
+        if fetch_buffer:
+            # Cheapest (and most common) exit first: the fetch-buffer
+            # head renames this cycle, so no cycle can be skipped.  The
+            # checks are pure reads, so hoisting them above the event
+            # scan only saves work, never changes the outcome.
+            head = fetch_buffer[0]
+            if head.rename_ready_cycle > cycle:
+                head_wait_cycle = head.rename_ready_cycle
+            else:
+                stall_field = self._rename_stall_cause(head.d)
+                if stall_field is None:
+                    return  # rename makes progress this cycle: no skip
+        nxt = _INF
+        if head_wait_cycle >= 0:
+            nxt = head_wait_cycle
         if not rob.empty:
             head = rob.head()
             t = head.complete_cycle
@@ -293,12 +352,9 @@ class Pipeline:
                         event = v + 1
                 if event < nxt:
                     nxt = event
-        validation_queue = self.validation_queue
-        if len(validation_queue):
-            for op in validation_queue._pending:
-                t = op.complete_cycle
-                if t is not None and t < nxt:
-                    nxt = t
+        t = self.validation_queue.next_ready_cycle()
+        if t is not None and t < nxt:
+            nxt = t
         wakeup = self._wakeup
         if wakeup:
             heap = self._wakeup_heap
@@ -307,7 +363,6 @@ class Pipeline:
             if heap and heap[0] < nxt:
                 nxt = heap[0]
         c = self.config
-        fetch_buffer = self._fetch_buffer
         if (
             self._cursor < len(self.trace)
             and len(fetch_buffer) < c.fetch_buffer_size
@@ -325,30 +380,6 @@ class Pipeline:
                     nxt = t
             # else: fetch waits on an unissued branch — covered by the
             # scheduler events above.
-        stall_field = None
-        if fetch_buffer:
-            head = fetch_buffer[0]
-            if head.rename_ready_cycle > cycle:
-                if head.rename_ready_cycle < nxt:
-                    nxt = head.rename_ready_cycle
-            else:
-                d = head.d
-                if rob.full:
-                    stall_field = "stall_rob"
-                elif d.fu != FuClass.NONE and self.iq.full:
-                    stall_field = "stall_iq"
-                elif d.is_load and self.lsq.lq_full:
-                    stall_field = "stall_lsq"
-                elif d.is_store and self.lsq.sq_full:
-                    stall_field = "stall_lsq"
-                elif (
-                    d.dest != NO_REG
-                    and not d.zero_idiom
-                    and self.free_list.available(reg_class(d.dest)) == 0
-                ):
-                    stall_field = "stall_regs"
-                else:
-                    return  # rename makes progress this cycle: no skip
         if nxt <= cycle:
             return
         limit = self._last_progress_cycle + c.watchdog_cycles + 1
@@ -379,7 +410,9 @@ class Pipeline:
         producer_window = self.producer_window
         commit_width = self.config.commit_width
         zero_preg = self.zero_preg
-        isrb_dereference = self.isrb.dereference
+        isrb = self.isrb
+        isrb_entries = isrb._entries
+        isrb_counter_max = isrb.counter_max
         free_release = self.free_list.release
         committed = 0
         n_producers = 0
@@ -454,11 +487,25 @@ class Pipeline:
                     producers_group = [op]
                 else:
                     producers_group.append(op)
-                # Inlined _dereference (the committed op's old mapping dies).
+                # Inlined ISRB dereference (the committed op's old
+                # mapping dies).  Untracked registers — the overwhelmingly
+                # common case — free directly; shared ones bump their
+                # committed count and free when the last owner is gone or
+                # the counter overflows (Isrb.dereference, verbatim).
                 old_preg = op.old_preg
                 if old_preg != NO_REG and old_preg != zero_preg:
-                    if isrb_dereference(old_preg) in ("untracked", "freed"):
+                    entry = isrb_entries.get(old_preg)
+                    if entry is None:
                         free_release(old_preg)
+                    else:
+                        entry.committed += 1
+                        if (
+                            entry.committed > entry.referenced
+                            or entry.committed > isrb_counter_max
+                        ):
+                            del isrb_entries[old_preg]
+                            isrb.frees += 1
+                            free_release(old_preg)
             if d.eligible:
                 n_eligible += 1
 
@@ -529,7 +576,20 @@ class Pipeline:
         """
         reg_ready = self._reg_ready
         wake = 0
-        for preg in op.src_pregs:
+        preg = op.src_preg1
+        if preg >= 0:
+            t = reg_ready[preg]
+            if t > wake:
+                if t >= _INF:
+                    waiters = self._preg_waiters.get(preg)
+                    if waiters is None:
+                        self._preg_waiters[preg] = [op]
+                    else:
+                        waiters.append(op)
+                    return
+                wake = t
+        preg = op.src_preg2
+        if preg >= 0:
             t = reg_ready[preg]
             if t > wake:
                 if t >= _INF:
@@ -603,6 +663,16 @@ class Pipeline:
         op_ready = self._op_ready
         try_issue = ports.try_issue
         lsq = self.lsq
+        # _do_issue, hand-inlined (this is the per-issued-op hot path):
+        # completion timing, validation request, scoreboard update and
+        # waiter wakeups run with all structures in locals.
+        stats = self.stats
+        stlf_latency = self.config.stlf_latency
+        hierarchy_load = self.hierarchy.load
+        validation_ideal = validation_queue.mode is ValidationMode.IDEAL
+        reg_ready = self._reg_ready
+        preg_waiters = self._preg_waiters
+        schedule = self._schedule_op
         issued: list[InflightOp] | None = None
         violation_load = None
         violating_store = None
@@ -617,7 +687,43 @@ class Pipeline:
                 continue
             if not try_issue(d.fu, cycle):
                 continue
-            self._do_issue(op, cycle)
+            op.issued = True
+            if d.is_load:
+                if op.forward_from is not None:
+                    latency = stlf_latency
+                    stats.load_forwards += 1
+                else:
+                    latency = hierarchy_load(d.pc, d.addr, cycle)
+                complete = cycle + latency
+                op.executed = True
+            elif d.is_store:
+                complete = cycle + 1
+                op.executed = True
+            else:
+                complete = cycle + d.latency
+            op.complete_cycle = complete
+            if op.dist_used or (
+                op.likely_candidate and op.producer is not None
+            ):
+                validation_queue.request(op)
+                if not validation_ideal:
+                    # §IV.F.b: predicted instructions retain their
+                    # scheduler entry until the validation µ-op issued.
+                    op.retained = True
+            if op.allocated and not op.vp_used:
+                dest = op.dest_preg
+                reg_ready[dest] = complete
+                waiters = preg_waiters.pop(dest, None)
+                if waiters is not None:
+                    for waiter in waiters:
+                        if not (waiter.issued or waiter.squashed):
+                            schedule(waiter, cycle)
+            waiters = op.waiters
+            if waiters is not None:
+                op.waiters = None
+                for waiter in waiters:
+                    if not (waiter.issued or waiter.squashed):
+                        schedule(waiter, cycle)
             if issued is None:
                 issued = [op]
             else:
@@ -646,9 +752,12 @@ class Pipeline:
 
     def _op_ready(self, op: InflightOp, cycle: int) -> bool:
         reg_ready = self._reg_ready
-        for preg in op.src_pregs:
-            if reg_ready[preg] > cycle:
-                return False
+        preg = op.src_preg1
+        if preg >= 0 and reg_ready[preg] > cycle:
+            return False
+        preg = op.src_preg2
+        if preg >= 0 and reg_ready[preg] > cycle:
+            return False
         if (op.dist_used or op.likely_candidate) and op.producer is not None:
             # §IV.F: the predicted instruction is made dependent on the
             # producer so validation can catch the value on the bypass.
@@ -669,46 +778,6 @@ class Pipeline:
                 return False
             op.forward_from = forward
         return True
-
-    def _do_issue(self, op: InflightOp, cycle: int) -> None:
-        op.issued = True
-        op.issue_cycle = cycle
-        d = op.d
-        if d.is_load:
-            if op.forward_from is not None:
-                latency = self.config.stlf_latency
-                self.stats.load_forwards += 1
-            else:
-                latency = self.hierarchy.load(d.pc, d.addr, cycle)
-            op.complete_cycle = cycle + latency
-            op.executed = True
-        elif d.is_store:
-            op.complete_cycle = cycle + 1
-            op.executed = True
-        else:
-            op.complete_cycle = cycle + d.latency
-        if op.dist_used or (op.likely_candidate and op.producer is not None):
-            self.validation_queue.request(op)
-            if self.validation_queue.mode is not ValidationMode.IDEAL:
-                # §IV.F.b: predicted instructions retain their scheduler
-                # entry until the validation µ-op has issued.
-                op.retained = True
-        if op.allocated and not op.vp_used:
-            dest = op.dest_preg
-            self._reg_ready[dest] = op.complete_cycle
-            waiters = self._preg_waiters.pop(dest, None)
-            if waiters is not None:
-                schedule = self._schedule_op
-                for waiter in waiters:
-                    if not (waiter.issued or waiter.squashed):
-                        schedule(waiter, cycle)
-        waiters = op.waiters
-        if waiters is not None:
-            op.waiters = None
-            schedule = self._schedule_op
-            for waiter in waiters:
-                if not (waiter.issued or waiter.squashed):
-                    schedule(waiter, cycle)
 
     # ==================================================================
     # Rename / dispatch
@@ -741,6 +810,18 @@ class Pipeline:
         rmap = self.rename_map._map
         rob_entries = rob._entries
         rob_capacity = rob.capacity
+        rob_len = len(rob_entries)
+        iq_entries = iq._entries
+        iq_live = iq._live
+        iq_capacity = iq.capacity
+        preg_waiters = self._preg_waiters
+        ready_append = self._ready.append
+        wakeup = self._wakeup
+        wakeup_heap = self._wakeup_heap
+        lq_capacity = lsq.lq_capacity
+        sq_capacity = lsq.sq_capacity
+        free_int_pool = free_list._free_int
+        free_fp_pool = free_list._free_fp
         pw_append = producer_window._window.append
         lq_len = len(lsq._loads)
         sq_len = len(lsq._stores)
@@ -764,23 +845,26 @@ class Pipeline:
             produces = d.dest != NO_REG
 
             # ---- capacity checks (stall in order) ---------------------
-            if len(rob_entries) >= rob_capacity:
+            # Inlined over hoisted locals; must mirror
+            # _rename_stall_cause exactly (golden-stats gated).
+            if rob_len >= rob_capacity:
                 stats.stall_rob += 1
                 break
-            if d.fu != FuClass.NONE and iq._live >= iq.capacity:
+            if d.fu != FuClass.NONE and iq_live >= iq_capacity:
                 stats.stall_iq += 1
                 break
-            if d.is_load and lq_len >= lsq.lq_capacity:
+            if d.is_load and lq_len >= lq_capacity:
                 stats.stall_lsq += 1
                 break
-            if d.is_store and sq_len >= lsq.sq_capacity:
+            if d.is_store and sq_len >= sq_capacity:
                 stats.stall_lsq += 1
                 break
             if produces:
-                dest_class = reg_class(d.dest)
-                if (
-                    not d.zero_idiom
-                    and free_list.available(dest_class) == 0
+                dest_class = (
+                    RegClass.FP if d.dest >= FP_BASE else RegClass.INT
+                )
+                if not d.zero_idiom and not (
+                    free_fp_pool if d.dest >= FP_BASE else free_int_pool
                 ):
                     stats.stall_regs += 1
                     break
@@ -789,12 +873,11 @@ class Pipeline:
             src1 = d.src1
             src2 = d.src2
             if src1 != NO_REG:
+                op.src_preg1 = rmap[src1]
                 if src2 != NO_REG:
-                    op.src_pregs = (rmap[src1], rmap[src2])
-                else:
-                    op.src_pregs = (rmap[src1],)
+                    op.src_preg2 = rmap[src2]
             elif src2 != NO_REG:
-                op.src_pregs = (rmap[src2],)
+                op.src_preg1 = rmap[src2]
 
             needs_iq = d.fu != FuClass.NONE
 
@@ -867,9 +950,62 @@ class Pipeline:
 
             # ---- structures -------------------------------------------
             rob_entries.append(op)
+            rob_len += 1
             if needs_iq:
-                iq.insert(op)
-                self._schedule_op(op, cycle)
+                # Inlined iq.insert (capacity was checked above).
+                op.iq_index = len(iq_entries)
+                iq_entries.append(op)
+                iq_live += 1
+                iq._live = iq_live
+                # Inlined _schedule_op for the dispatch case.  The op is
+                # the youngest in flight, so when it is ready now it is
+                # appended to the (seq-sorted) ready list without a
+                # re-sort — the same invariant the method relies on.
+                preg = op.src_preg1
+                t1 = reg_ready[preg] if preg >= 0 else 0
+                if t1 >= _INF:
+                    waiters = preg_waiters.get(preg)
+                    if waiters is None:
+                        preg_waiters[preg] = [op]
+                    else:
+                        waiters.append(op)
+                else:
+                    preg = op.src_preg2
+                    t2 = reg_ready[preg] if preg >= 0 else 0
+                    if t2 >= _INF:
+                        waiters = preg_waiters.get(preg)
+                        if waiters is None:
+                            preg_waiters[preg] = [op]
+                        else:
+                            waiters.append(op)
+                    else:
+                        wake = t1 if t1 > t2 else t2
+                        parked = False
+                        if (
+                            op.dist_used or op.likely_candidate
+                        ) and op.producer is not None:
+                            # §IV.F: depend on the producer so validation
+                            # can catch the value on the bypass.
+                            producer = op.producer
+                            t = producer.complete_cycle
+                            if t is None:
+                                if producer.waiters is None:
+                                    producer.waiters = [op]
+                                else:
+                                    producer.waiters.append(op)
+                                parked = True
+                            elif t > wake:
+                                wake = t
+                        if not parked:
+                            if wake <= cycle:
+                                ready_append(op)
+                            else:
+                                bucket = wakeup.get(wake)
+                                if bucket is None:
+                                    wakeup[wake] = [op]
+                                    heappush(wakeup_heap, wake)
+                                else:
+                                    bucket.append(op)
             if d.is_load:
                 lsq.add_load(op)
                 lq_len += 1
@@ -940,9 +1076,10 @@ class Pipeline:
         rename_ready = cycle + frontend_depth
         fetched = 0
         taken_seen = 0
+        buffered = len(fetch_buffer)
         while (
             fetched < fetch_width
-            and len(fetch_buffer) < fetch_buffer_size
+            and buffered < fetch_buffer_size
             and self._cursor < num_instructions
         ):
             d = trace[self._cursor]
@@ -953,11 +1090,12 @@ class Pipeline:
                     self._next_fetch_cycle = cycle + bubble
                     break
                 self._last_fetch_line = line
-            op = InflightOp(d, self._cursor, cycle, rename_ready)
+            op = InflightOp(d, self._cursor, rename_ready)
             if d.is_branch:
                 outcome = branch_unit.fetch_branch(d)
                 op.fetch_outcome = outcome
                 append(op)
+                buffered += 1
                 self._cursor += 1
                 fetched += 1
                 if outcome.mispredicted:
@@ -975,6 +1113,7 @@ class Pipeline:
                         break  # 8-wide fetch over at most 1 taken branch
                 continue
             append(op)
+            buffered += 1
             self._cursor += 1
             fetched += 1
 

@@ -16,10 +16,14 @@ from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.stats import Stats
 from repro.workloads.spec2006 import build_benchmark
+from repro.workloads.store import TraceStore, workload_code_version
 from repro.workloads.trace import Trace, execute
 
 #: In-flight margin so traces never run dry mid-window.
 _TRACE_SLACK = 4096
+
+#: Sentinel: "use the environment-configured default store".
+_DEFAULT_STORE = object()
 
 
 def default_windows() -> tuple[int, int]:
@@ -45,12 +49,32 @@ class SimulationResult:
 
 
 class Simulator:
-    """Caches traces and runs pipelines over them."""
+    """Caches traces and runs pipelines over them.
 
-    def __init__(self, core_config: CoreConfig | None = None) -> None:
+    Traces are memoised in memory per ``(benchmark, seed, workload-code
+    version)`` and — unless persistence is disabled or a store of
+    ``None`` is passed — routed through the on-disk
+    :class:`~repro.workloads.store.TraceStore`, so each trace is
+    interpreted at most once per machine rather than once per process.
+    """
+
+    def __init__(
+        self,
+        core_config: CoreConfig | None = None,
+        trace_store: TraceStore | None = _DEFAULT_STORE,  # type: ignore
+    ) -> None:
         self.core_config = core_config or CoreConfig()
-        # (benchmark, seed) -> (trace, instructions it was built for).
-        self._trace_cache: dict[tuple[str, int], tuple[Trace, int]] = {}
+        self.trace_store = (
+            TraceStore.from_environment()
+            if trace_store is _DEFAULT_STORE
+            else trace_store
+        )
+        # (benchmark, seed, version) -> (trace, budget it was built for).
+        # The workload-code version is part of the key so editing e.g.
+        # workloads/kernels.py mid-process can never serve a stale trace.
+        self._trace_cache: dict[
+            tuple[str, int, str], tuple[Trace, int]
+        ] = {}
 
     def trace_for(self, benchmark: str, seed: int,
                   instructions: int) -> Trace:
@@ -62,16 +86,28 @@ class Simulator:
         instead of re-executing the interpreter per requested length.  A
         trace that ended at ``HALT`` before reaching its requested length
         is the complete execution and covers any request.
+
+        Lookup order: in-memory cache, then the on-disk store, then
+        interpretation (which also populates the store).
         """
-        key = (benchmark, seed)
+        version = workload_code_version()
+        key = (benchmark, seed, version)
         entry = self._trace_cache.get(key)
         if entry is not None:
             trace, covered = entry
             if instructions <= covered or len(trace) < covered:
                 return trace
+        store = self.trace_store
+        if store is not None:
+            stored = store.load(benchmark, seed, instructions, version)
+            if stored is not None:
+                self._trace_cache[key] = stored
+                return stored[0]
         built = build_benchmark(benchmark, seed)
         trace = execute(built.program, instructions, built.machine())
         self._trace_cache[key] = (trace, instructions)
+        if store is not None:
+            store.save(trace, benchmark, seed, instructions, version)
         return trace
 
     def run_benchmark(

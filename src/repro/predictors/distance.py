@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.bitops import fold_bits
 from repro.common.history import GlobalHistory, PathHistory
 from repro.common.rng import XorShift64
 from repro.common.storage import StorageReport
@@ -29,8 +28,8 @@ from repro.predictors.confidence import ConfidenceScale, SCALED
 from repro.predictors.tagged_table import (
     ComponentGeometry,
     GeometricIndexer,
-    Lookup,
     UsefulnessMonitor,
+    emit_indexing_lines,
     geometric_history_lengths,
 )
 
@@ -94,14 +93,20 @@ class DistancePredictorConfig:
 
 @dataclass(slots=True)
 class DistancePrediction:
-    """One lookup outcome, retained for commit-time training."""
+    """One lookup outcome, retained for commit-time training.
+
+    ``indices``/``tags`` carry the per-component lookup result directly
+    (the ``Lookup`` indirection object was flattened away on the hot
+    path; real TAGE checkpoints the same data).
+    """
 
     pc: int
     distance: int
     use_pred: bool          # confident enough to speculate
     likely_candidate: bool  # confident enough to train via validation
     provider: int           # component index, -1 = base
-    lookup: Lookup
+    indices: tuple
+    tags: tuple
     base_index: int
     confidence_level: int = 0
 
@@ -167,9 +172,7 @@ class DistancePredictor:
         path_bits = indexer._path_bits
         n = len(components)
         env = {
-            "Lookup": Lookup,
             "DistancePrediction": DistancePrediction,
-            "fold_bits": fold_bits,
             "_path": indexer.path,
             "_self": self,
             "_bdist": self._base_distance,
@@ -181,33 +184,10 @@ class DistancePredictor:
             f"    path_raw = _path.value & {(1 << path_bits) - 1}",
             "    word = pc >> 2",
         ]
-        for k, (index_bits, index_mask, word_shift, index_fold,
-                tag_mask, tag_fold, tag_fold2, path_memo) in enumerate(
-                    components):
-            env[f"_fi{k}"] = index_fold
-            env[f"_ft{k}"] = tag_fold
-            env[f"_pm{k}"] = path_memo
-            lines += [
-                f"    _m = _pm{k}",
-                "    if _m[0] != path_raw:",
-                f"        _m[0] = path_raw",
-                f"        _m[1] = fold_bits(path_raw, {path_bits}, "
-                f"{index_bits})",
-                f"    i{k} = (word ^ (word >> {word_shift}) ^ _fi{k}.value"
-                f" ^ _m[1]) & {index_mask}",
-            ]
-            if tag_fold2 is not None:
-                env[f"_ft2{k}"] = tag_fold2
-                lines.append(
-                    f"    t{k} = (word ^ _ft{k}.value ^ (_ft2{k}.value << 1))"
-                    f" & {tag_mask}"
-                )
-            else:
-                lines.append(f"    t{k} = (word ^ _ft{k}.value) & {tag_mask}")
+        lines += emit_indexing_lines(components, path_bits, env)
         index_list = ", ".join(f"i{k}" for k in range(n))
         tag_list = ", ".join(f"t{k}" for k in range(n))
         lines += [
-            f"    lookup = Lookup(pc, [{index_list}], [{tag_list}])",
             f"    base_index = word & {self._base_mask}",
         ]
         keyword = "if"
@@ -235,7 +215,8 @@ class DistancePredictor:
             "    if use_pred:",
             "        _self.confident_predictions += 1",
             "    return DistancePrediction(pc, distance, use_pred, likely,"
-            " provider, lookup, base_index, confidence)",
+            f" provider, ({index_list},), ({tag_list},),"
+            " base_index, confidence)",
         ]
         exec("\n".join(lines), env)  # noqa: S102 - static template, no input
         return env["fast_predict"]
@@ -269,7 +250,7 @@ class DistancePredictor:
             self.confident_predictions += 1
         return DistancePrediction(
             pc, distance, use_pred, likely,
-            provider, lookup, base_index, confidence,
+            provider, tuple(indices), tuple(tags), base_index, confidence,
         )
 
     # ------------------------------------------------------------------
@@ -277,7 +258,7 @@ class DistancePredictor:
     def _entry(self, prediction: DistancePrediction) -> tuple[list, list, int]:
         """(distances, confs, index) for the providing entry."""
         if prediction.provider >= 0:
-            index = prediction.lookup.indices[prediction.provider]
+            index = prediction.indices[prediction.provider]
             return (
                 self._distances[prediction.provider],
                 self._confs[prediction.provider],
@@ -355,13 +336,11 @@ class DistancePredictor:
         candidates = [
             component
             for component in range(start, len(self._geometries))
-            if self._useful[component][prediction.lookup.indices[component]]
-            == 0
+            if self._useful[component][prediction.indices[component]] == 0
         ]
         if not candidates:
             for component in range(start, len(self._geometries)):
-                index = prediction.lookup.indices[component]
-                self._useful[component][index] = 0
+                self._useful[component][prediction.indices[component]] = 0
             if self._monitor.on_allocation_failure():
                 pass  # useful bits are single-bit: cleared above already
             return
@@ -369,8 +348,8 @@ class DistancePredictor:
             chosen = self._rng.choice(candidates[1:])
         else:
             chosen = candidates[0]
-        index = prediction.lookup.indices[chosen]
-        self._tags[chosen][index] = prediction.lookup.tags[chosen]
+        index = prediction.indices[chosen]
+        self._tags[chosen][index] = prediction.tags[chosen]
         self._distances[chosen][index] = observed_distance
         self._confs[chosen][index] = 0
         self._useful[chosen][index] = 0

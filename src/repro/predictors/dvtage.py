@@ -25,7 +25,7 @@ from repro.predictors.confidence import ConfidenceScale, SCALED
 from repro.predictors.tagged_table import (
     ComponentGeometry,
     GeometricIndexer,
-    Lookup,
+    emit_indexing_lines,
     geometric_history_lengths,
 )
 
@@ -66,13 +66,18 @@ class DVtageConfig:
 
 @dataclass(slots=True)
 class ValuePrediction:
-    """One D-VTAGE lookup, retained for commit-time training."""
+    """One D-VTAGE lookup, retained for commit-time training.
+
+    ``indices``/``tags`` carry the per-component lookup result directly
+    (no ``Lookup`` indirection on the hot path).
+    """
 
     pc: int
     value: int
     use_pred: bool
     provider: int            # -1 = base stride
-    lookup: Lookup
+    indices: tuple
+    tags: tuple
     base_index: int
     last_value_valid: bool
     inflight_rank: int = 0   # older same-PC instances in flight at lookup
@@ -117,10 +122,83 @@ class DVtagePredictor:
         self._inflight: dict[int, int] = {}
         self.lookups = 0
         self.confident_predictions = 0
+        # Specialised predict, mirroring DistancePredictor: the component
+        # loop is unrolled once at construction with all geometry
+        # constants and table references embedded.  `predict` is rebound;
+        # `predict_reference` keeps the generic path for cross-checking.
+        self.predict = self._build_fast_predict()
 
     # ------------------------------------------------------------------
 
-    def predict(self, pc: int) -> ValuePrediction:
+    def _build_fast_predict(self):
+        """Generate an unrolled predict() specialised to this geometry.
+
+        Produces exactly the computation of :meth:`predict_reference`
+        (same indexing, provider search, speculative in-flight rank and
+        confidence threshold), with the per-component loop flattened and
+        every constant inlined.  Table lists, folded registers and the
+        in-flight dict are only ever mutated in place, so the embedded
+        references stay valid for the predictor's life.
+        """
+        indexer = self._indexer
+        components = indexer._components
+        path_bits = indexer._path_bits
+        n = len(components)
+        env = {
+            "ValuePrediction": ValuePrediction,
+            "_path": indexer.path,
+            "_self": self,
+            "_bvalid": self._base_valid,
+            "_blast": self._base_last,
+            "_bstride": self._base_stride,
+            "_bconf": self._base_conf,
+            "_inflight": self._inflight,
+        }
+        lines = [
+            "def fast_predict(pc):",
+            "    _self.lookups += 1",
+            f"    path_raw = _path.value & {(1 << path_bits) - 1}",
+            "    word = pc >> 2",
+        ]
+        lines += emit_indexing_lines(components, path_bits, env)
+        index_list = ", ".join(f"i{k}" for k in range(n))
+        tag_list = ", ".join(f"t{k}" for k in range(n))
+        lines += [
+            f"    base_index = word & {self._base_mask}",
+        ]
+        keyword = "if"
+        for k in range(n - 1, -1, -1):
+            env[f"_tags{k}"] = self._tags[k]
+            env[f"_strides{k}"] = self._strides[k]
+            env[f"_confs{k}"] = self._confs[k]
+            lines += [
+                f"    {keyword} _tags{k}[i{k}] == t{k}:",
+                f"        provider = {k}",
+                f"        stride = _strides{k}[i{k}]",
+                f"        confidence = _confs{k}[i{k}]",
+            ]
+            keyword = "elif"
+        lines += [
+            "    else:",
+            "        provider = -1",
+            "        stride = _bstride[base_index]",
+            "        confidence = _bconf[base_index]",
+            "    last_valid = _bvalid[base_index]",
+            "    inflight_rank = _inflight.get(base_index, 0)",
+            "    value = (_blast[base_index] + stride * (inflight_rank + 1))"
+            f" & {(1 << 64) - 1}",
+            f"    use_pred = confidence >= {self._use_level} and last_valid",
+            "    if use_pred:",
+            "        _self.confident_predictions += 1",
+            "    _inflight[base_index] = inflight_rank + 1",
+            "    return ValuePrediction(pc, value, use_pred, provider,"
+            f" ({index_list},), ({tag_list},),"
+            " base_index, last_valid, inflight_rank)",
+        ]
+        exec("\n".join(lines), env)  # noqa: S102 - static template, no input
+        return env["fast_predict"]
+
+    def predict_reference(self, pc: int) -> ValuePrediction:
         """Predict the result of the instruction at *pc*."""
         self.lookups += 1
         lookup = self._indexer.lookup(pc)
@@ -155,7 +233,8 @@ class DVtagePredictor:
             value=value,
             use_pred=use_pred,
             provider=provider,
-            lookup=lookup,
+            indices=tuple(lookup.indices),
+            tags=tuple(lookup.tags),
             base_index=base_index,
             last_value_valid=last_valid,
             inflight_rank=inflight_rank,
@@ -165,7 +244,7 @@ class DVtagePredictor:
 
     def _provider_entry(self, prediction: ValuePrediction):
         if prediction.provider >= 0:
-            index = prediction.lookup.indices[prediction.provider]
+            index = prediction.indices[prediction.provider]
             return (
                 self._strides[prediction.provider],
                 self._confs[prediction.provider],
@@ -226,21 +305,18 @@ class DVtagePredictor:
         candidates = [
             component
             for component in range(start, len(self._geometries))
-            if self._useful[component][prediction.lookup.indices[component]]
-            == 0
+            if self._useful[component][prediction.indices[component]] == 0
         ]
         if not candidates:
             for component in range(start, len(self._geometries)):
-                self._useful[component][
-                    prediction.lookup.indices[component]
-                ] = 0
+                self._useful[component][prediction.indices[component]] = 0
             return
         if len(candidates) > 1 and not self._rng.chance(2 / 3):
             chosen = self._rng.choice(candidates[1:])
         else:
             chosen = candidates[0]
-        index = prediction.lookup.indices[chosen]
-        self._tags[chosen][index] = prediction.lookup.tags[chosen]
+        index = prediction.indices[chosen]
+        self._tags[chosen][index] = prediction.tags[chosen]
         self._strides[chosen][index] = observed_stride
         self._confs[chosen][index] = 0
         self._useful[chosen][index] = 0

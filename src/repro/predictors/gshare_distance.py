@@ -17,7 +17,6 @@ from repro.common.rng import XorShift64
 from repro.common.storage import StorageReport
 from repro.predictors.confidence import ConfidenceScale, SCALED
 from repro.predictors.distance import NO_DISTANCE, DistancePrediction
-from repro.predictors.tagged_table import Lookup
 
 
 @dataclass(frozen=True)
@@ -106,7 +105,8 @@ class GshareDistancePredictor:
             use_pred=use_pred,
             likely_candidate=likely,
             provider=provider,
-            lookup=Lookup(pc, [gh_index], [0]),
+            indices=(gh_index,),
+            tags=(0,),
             base_index=pc_index,
             confidence_level=confidence,
         )
@@ -143,7 +143,7 @@ class GshareDistancePredictor:
         ):
             return
         pc_index = prediction.base_index
-        gh_index = prediction.lookup.indices[0]
+        gh_index = prediction.indices[0]
         self._train_table(
             self._pc_distance, self._pc_conf, pc_index, observed_distance
         )
@@ -155,7 +155,7 @@ class GshareDistancePredictor:
         self, prediction: DistancePrediction, was_equal: bool
     ) -> None:
         pc_index = prediction.base_index
-        gh_index = prediction.lookup.indices[0]
+        gh_index = prediction.indices[0]
         if was_equal:
             if self._pc_distance[pc_index] == prediction.distance:
                 self._bump(self._pc_conf, pc_index)
@@ -171,7 +171,7 @@ class GshareDistancePredictor:
         # Both tables trained toward this distance in parallel; a failed
         # validation must silence both or the sibling table immediately
         # re-predicts the same wrong distance.
-        self._gh_conf[prediction.lookup.indices[0]] = 0
+        self._gh_conf[prediction.indices[0]] = 0
         self._pc_conf[prediction.base_index] = 0
 
     def storage_report(self) -> StorageReport:

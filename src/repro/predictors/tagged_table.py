@@ -59,6 +59,55 @@ class Lookup:
     tags: list[int]
 
 
+def emit_indexing_lines(components, path_bits: int, env: dict) -> list[str]:
+    """Emit the per-component ``i{k}``/``t{k}`` lines of a generated
+    TAGE-style fast path.
+
+    Shared by every code generator over a :class:`GeometricIndexer`'s
+    component tuples (the indexer's own lookup, the distance predictor's
+    and D-VTAGE's fast predicts): one source of truth for the index/tag
+    formulas and the path-fold memo.  The caller's generated function
+    must define ``path_raw`` and ``word`` before these lines; *env* is
+    extended with the folded-register references and the memo list.
+
+    Components sharing an index width share one memoised path fold
+    (TAGE geometries typically use a single table size), so the fold —
+    and its staleness check — runs once per lookup, not once per
+    component.  ``_pm[0]`` is the path value the folds were computed
+    for; ``_pm[1:]`` hold one fold per distinct width.
+    """
+    slot_of: dict[int, int] = {}
+    for (index_bits, *_rest) in components:
+        if index_bits not in slot_of:
+            slot_of[index_bits] = len(slot_of) + 1
+    env["_pm"] = [-1] + [0] * len(slot_of)
+    env["fold_bits"] = fold_bits
+    lines = ["    _m = _pm", "    if _m[0] != path_raw:",
+             "        _m[0] = path_raw"]
+    for bits, slot in slot_of.items():
+        lines.append(
+            f"        _m[{slot}] = fold_bits(path_raw, {path_bits}, {bits})"
+        )
+    for k, (index_bits, index_mask, word_shift, index_fold,
+            tag_mask, tag_fold, tag_fold2, path_memo) in enumerate(
+                components):
+        env[f"_fi{k}"] = index_fold
+        env[f"_ft{k}"] = tag_fold
+        lines.append(
+            f"    i{k} = (word ^ (word >> {word_shift}) ^ _fi{k}.value"
+            f" ^ _m[{slot_of[index_bits]}]) & {index_mask}"
+        )
+        if tag_fold2 is not None:
+            env[f"_ft2{k}"] = tag_fold2
+            lines.append(
+                f"    t{k} = (word ^ _ft{k}.value ^ (_ft2{k}.value << 1))"
+                f" & {tag_mask}"
+            )
+        else:
+            lines.append(f"    t{k} = (word ^ _ft{k}.value) & {tag_mask}")
+    return lines
+
+
 class GeometricIndexer:
     """Computes per-component (index, tag) pairs for a PC.
 
@@ -114,36 +163,14 @@ class GeometricIndexer:
         references stay live.
         """
         path_bits = self._path_bits
-        env = {"Lookup": Lookup, "fold_bits": fold_bits, "_path": self.path}
+        env = {"Lookup": Lookup, "_path": self.path}
         lines = [
             "def fast_lookup(pc):",
             f"    path_raw = _path.value & {(1 << path_bits) - 1}",
             "    word = pc >> 2",
         ]
         n = len(self._components)
-        for k, (index_bits, index_mask, word_shift, index_fold,
-                tag_mask, tag_fold, tag_fold2, path_memo) in enumerate(
-                    self._components):
-            env[f"_fi{k}"] = index_fold
-            env[f"_ft{k}"] = tag_fold
-            env[f"_pm{k}"] = path_memo
-            lines += [
-                f"    _m = _pm{k}",
-                "    if _m[0] != path_raw:",
-                "        _m[0] = path_raw",
-                f"        _m[1] = fold_bits(path_raw, {path_bits}, "
-                f"{index_bits})",
-                f"    i{k} = (word ^ (word >> {word_shift}) ^ _fi{k}.value"
-                f" ^ _m[1]) & {index_mask}",
-            ]
-            if tag_fold2 is not None:
-                env[f"_ft2{k}"] = tag_fold2
-                lines.append(
-                    f"    t{k} = (word ^ _ft{k}.value ^ (_ft2{k}.value << 1))"
-                    f" & {tag_mask}"
-                )
-            else:
-                lines.append(f"    t{k} = (word ^ _ft{k}.value) & {tag_mask}")
+        lines += emit_indexing_lines(self._components, path_bits, env)
         index_list = ", ".join(f"i{k}" for k in range(n))
         tag_list = ", ".join(f"t{k}" for k in range(n))
         lines.append(f"    return Lookup(pc, [{index_list}], [{tag_list}])")

@@ -1,0 +1,359 @@
+"""Persistent, content-addressed store of functional traces.
+
+Interpreting a benchmark is deterministic, so its committed-path trace is
+a pure function of ``(benchmark, seed, instruction budget, workload
+code)``.  This module caches that artifact on disk — in the spirit of
+build-once/run-many experiment infrastructures — so a trace is
+interpreted **at most once per machine**: every later sweep, bench,
+example or CI run loads it back instead of re-running the interpreter.
+
+Three pieces:
+
+* :func:`workload_code_version` — a hash over the source of every module
+  that determines trace content (workloads, ISA, interpreter, RNG).  It
+  is part of every cache key, on disk and in memory, so editing
+  ``workloads/kernels.py`` (or the interpreter itself) can never serve a
+  stale trace.  The hash is recomputed whenever a source file's
+  stat signature changes, which keeps long-lived processes honest too.
+* :func:`pack_trace` / :func:`unpack_trace` — a compact flat-array codec
+  (parallel packed ``array`` columns instead of per-instruction Python
+  objects).  Packed traces pickle ~10× smaller than ``DynInst`` lists
+  and decode faster than re-interpretation, because decoding replays no
+  semantics: static per-opcode fields come from one table lookup and
+  ``DynInst`` construction bypasses ``__init__``.
+* :class:`TraceStore` — the on-disk cache.  One file per
+  ``(benchmark, seed, version)``, atomically replaced on writes
+  (temp file + ``os.replace``), with the instruction *budget* recorded in
+  the payload: a stored trace serves any request it covers and is
+  re-interpreted (and overwritten) for longer ones, mirroring the
+  in-memory prefix-reuse rule.  Corrupt or truncated files are treated
+  as misses — the caller falls back to interpretation and the file is
+  rewritten.
+
+The store location defaults to ``~/.cache/repro/traces`` (honouring
+``XDG_CACHE_HOME``) and is overridden with ``REPRO_TRACE_STORE``; setting
+that variable to ``0``, ``off`` or ``none`` disables persistence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from array import array
+from pathlib import Path
+
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.registers import XZR
+from repro.workloads.trace import Trace
+
+#: Bump when the packed layout changes; readers reject other versions.
+FORMAT = 1
+
+#: Flag bits of the packed per-instruction flag byte.
+_TAKEN = 1
+_ZERO_IDIOM = 2
+_MOVE = 4
+
+#: Modules whose source determines trace content.  Anything that touches
+#: program construction, initial data images or interpretation belongs
+#: here; timing-model modules do not (they never affect the trace).
+_VERSIONED_MODULES = (
+    "repro.workloads.kernels",
+    "repro.workloads.spec2006",
+    "repro.workloads.builder",
+    "repro.workloads.trace",
+    "repro.isa.instruction",
+    "repro.isa.opcodes",
+    "repro.isa.program",
+    "repro.isa.registers",
+    "repro.common.bitops",
+    "repro.common.rng",
+)
+
+# (stat signature) -> digest memo so repeated calls cost ~10 os.stat.
+_version_cache: tuple[tuple, str] | None = None
+
+
+def _module_sources() -> list[Path]:
+    import importlib
+
+    paths = []
+    for name in _VERSIONED_MODULES:
+        module = importlib.import_module(name)
+        module_file = getattr(module, "__file__", None)
+        if module_file:
+            paths.append(Path(module_file))
+    return paths
+
+
+def workload_code_version() -> str:
+    """Hash of the workload/ISA/interpreter source (first 16 hex chars).
+
+    Cached on the files' ``(path, mtime_ns, size)`` signature: editing any
+    versioned module invalidates the memo, so even a process that outlives
+    an edit computes a fresh version and stops serving stale traces.
+    """
+    global _version_cache
+    sources = _module_sources()
+    signature = tuple(
+        (str(path), stat.st_mtime_ns, stat.st_size)
+        for path, stat in ((p, p.stat()) for p in sources)
+    )
+    if _version_cache is not None and _version_cache[0] == signature:
+        return _version_cache[1]
+    digest = hashlib.sha256()
+    for path in sources:
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    version = digest.hexdigest()[:16]
+    _version_cache = (signature, version)
+    return version
+
+
+# ---------------------------------------------------------------------------
+# Flat-array codec
+# ---------------------------------------------------------------------------
+
+
+def pack_trace(trace: Trace, budget: int) -> dict:
+    """Serialise *trace* as parallel packed columns.
+
+    ``seq`` is implicit (0..n-1); static per-opcode properties (FU class,
+    latency, load/store/branch flags, …) are not stored — they are
+    re-derived from the opcode at decode time, exactly as the interpreter
+    derives them at build time.
+    """
+    n = len(trace)
+    pc = array("q", bytes(8 * n))
+    opcode = bytearray(n)
+    dest = array("b", bytes(n))
+    src1 = array("b", bytes(n))
+    src2 = array("b", bytes(n))
+    result = array("Q", bytes(8 * n))
+    addr = array("q", bytes(8 * n))
+    target_pc = array("q", bytes(8 * n))
+    flags = bytearray(n)
+    for index, d in enumerate(trace.instructions):
+        pc[index] = d.pc
+        opcode[index] = d.opcode
+        dest[index] = d.dest
+        src1[index] = d.src1
+        src2[index] = d.src2
+        result[index] = d.result
+        addr[index] = d.addr
+        target_pc[index] = d.target_pc
+        flags[index] = (
+            (_TAKEN if d.taken else 0)
+            | (_ZERO_IDIOM if d.zero_idiom else 0)
+            | (_MOVE if d.move else 0)
+        )
+    return {
+        "format": FORMAT,
+        "name": trace.name,
+        "budget": budget,
+        "n": n,
+        "pc": pc,
+        "opcode": bytes(opcode),
+        "dest": dest,
+        "src1": src1,
+        "src2": src2,
+        "result": result,
+        "addr": addr,
+        "target_pc": target_pc,
+        "flags": bytes(flags),
+    }
+
+
+def _opcode_statics() -> list[tuple]:
+    """Per-opcode constants a decoded ``DynInst`` carries."""
+    statics = []
+    for opcode in Opcode:
+        info = OP_INFO[opcode]
+        statics.append((
+            opcode, info.fu_class, info.latency, info.pipelined,
+            info.is_load, info.is_store, info.is_branch,
+            info.is_conditional, info.is_call, info.is_return,
+        ))
+    return statics
+
+
+_OPCODE_STATICS = _opcode_statics()
+
+
+def unpack_trace(payload: dict) -> tuple[Trace, int]:
+    """Decode a packed payload into ``(trace, budget)``.
+
+    Reconstruction bypasses ``DynInst.__init__``: all derived fields
+    (``line``, ``eligible``, the static opcode properties) are assigned
+    from precomputed tables, which makes a warm store load cheaper than
+    re-running the interpreter.
+    """
+    if payload.get("format") != FORMAT:
+        raise ValueError(f"unsupported trace format {payload.get('format')}")
+    from repro.common.bitops import LINE_SHIFT
+
+    n = payload["n"]
+    pcs = payload["pc"]
+    opcodes = payload["opcode"]
+    dests = payload["dest"]
+    src1s = payload["src1"]
+    src2s = payload["src2"]
+    results = payload["result"]
+    addrs = payload["addr"]
+    targets = payload["target_pc"]
+    flags = payload["flags"]
+    if not (
+        len(pcs) == len(opcodes) == len(dests) == len(src1s) == len(src2s)
+        == len(results) == len(addrs) == len(targets) == len(flags) == n
+    ):
+        raise ValueError("trace payload columns disagree on length")
+
+    statics = _OPCODE_STATICS
+    new = DynInst.__new__
+    cls = DynInst
+    instructions = []
+    append = instructions.append
+    for seq in range(n):
+        d = new(cls)
+        pc = pcs[seq]
+        dest = dests[seq]
+        flag = flags[seq]
+        zero_idiom = flag & _ZERO_IDIOM != 0
+        (
+            d.opcode, d.fu, d.latency, d.pipelined,
+            d.is_load, d.is_store, is_branch,
+            d.is_conditional, d.is_call, d.is_return,
+        ) = statics[opcodes[seq]]
+        d.is_branch = is_branch
+        d.seq = seq
+        d.pc = pc
+        d.dest = dest
+        d.src1 = src1s[seq]
+        d.src2 = src2s[seq]
+        d.result = results[seq]
+        d.addr = addrs[seq]
+        d.taken = flag & _TAKEN != 0
+        d.target_pc = targets[seq]
+        d.zero_idiom = zero_idiom
+        d.move = flag & _MOVE != 0
+        d.line = pc >> LINE_SHIFT
+        d.eligible = (
+            dest != -1 and dest != XZR and not is_branch and not zero_idiom
+        )
+        append(d)
+    return Trace(payload["name"], instructions), payload["budget"]
+
+
+# ---------------------------------------------------------------------------
+# On-disk store
+# ---------------------------------------------------------------------------
+
+
+def default_store_root() -> Path | None:
+    """Store directory from the environment (``None`` = disabled)."""
+    configured = os.environ.get("REPRO_TRACE_STORE")
+    if configured is not None:
+        if configured.strip().lower() in ("", "0", "off", "none", "disabled"):
+            return None
+        return Path(configured)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+class TraceStore:
+    """Content-addressed on-disk cache of packed functional traces."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.recovered = 0  # corrupt/truncated files treated as misses
+
+    @classmethod
+    def from_environment(cls) -> "TraceStore | None":
+        """The default store, or ``None`` when persistence is disabled."""
+        root = default_store_root()
+        return cls(root) if root is not None else None
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, benchmark: str, seed: int, version: str) -> Path:
+        """File path of one ``(benchmark, seed, version)`` artifact.
+
+        The key is content-addressed: a digest over the benchmark name,
+        the seed and the workload-code version.  The human-readable stem
+        keeps the store browsable.
+        """
+        digest = hashlib.sha256(
+            f"{benchmark}\x00{seed}\x00{version}\x00{FORMAT}".encode()
+        ).hexdigest()[:20]
+        safe = "".join(c if c.isalnum() else "_" for c in benchmark)
+        return self.root / f"{safe}-s{seed}-{digest}.trace"
+
+    def load(
+        self, benchmark: str, seed: int, instructions: int, version: str
+    ) -> tuple[Trace, int] | None:
+        """Return ``(trace, budget)`` if a stored trace covers the request.
+
+        A trace covers a request for N instructions when it was built with
+        a budget >= N, or when it halted before exhausting its budget (the
+        complete execution covers everything).  Anything unreadable —
+        missing, truncated, corrupt, wrong format — is a miss; the caller
+        re-interprets and :meth:`save` overwrites the bad file.
+        """
+        path = self.path_for(benchmark, seed, version)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            trace, budget = unpack_trace(payload)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # corrupt pickle / bad payload: recoverable
+            self.recovered += 1
+            self.misses += 1
+            return None
+        if instructions <= budget or len(trace) < budget:
+            self.hits += 1
+            return trace, budget
+        self.misses += 1
+        return None
+
+    def save(
+        self, trace: Trace, benchmark: str, seed: int, budget: int,
+        version: str,
+    ) -> Path | None:
+        """Persist *trace* atomically; best-effort (failures are ignored).
+
+        The temp-file + ``os.replace`` dance guarantees readers never see
+        a partial write, and concurrent writers (parallel sweep workers
+        interpreting the same benchmark) race benignly: both produce
+        identical bytes.
+        """
+        path = self.path_for(benchmark, seed, version)
+        payload = pack_trace(trace, budget)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None  # read-only store, full disk, ... — not fatal
+        self.writes += 1
+        return path

@@ -1,0 +1,11 @@
+"""Tier-1 test isolation.
+
+The persistent trace store (`repro.workloads.store`) is disabled for the
+test suite: tests must not read traces written by earlier sessions (or
+benches) nor litter the user's cache.  Store behaviour itself is covered
+explicitly in ``tests/test_trace_store.py`` with private store roots.
+"""
+
+import os
+
+os.environ["REPRO_TRACE_STORE"] = "off"

@@ -162,6 +162,8 @@ class TestTracePrefixReuse:
 
 class TestParallelSweep:
     def test_parallel_matches_sequential(self):
+        from repro.harness.sweep import SweepEngine
+
         mechanisms = [
             MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
         ]
@@ -169,9 +171,11 @@ class TestParallelSweep:
             benchmarks=["mcf", "dealII"], seeds=[1, 2],
             warmup=256, measure=1000,
         )
-        sequential = ExperimentRunner(**kwargs)
+        # Private engines: the shared engine's memo would otherwise serve
+        # the second runner without ever exercising the worker pool.
+        sequential = ExperimentRunner(engine=SweepEngine(), **kwargs)
         sequential.run(mechanisms)
-        parallel = ExperimentRunner(**kwargs)
+        parallel = ExperimentRunner(engine=SweepEngine(), **kwargs)
         parallel.run(mechanisms, workers=2)
         for benchmark in kwargs["benchmarks"]:
             for mechanism in mechanisms:
@@ -183,6 +187,187 @@ class TestParallelSweep:
                         b.benchmark, b.mechanism, b.seed
                     )
                     assert stats_dict(a.stats) == stats_dict(b.stats)
+
+
+class _LegacyValidationQueue:
+    """The seed implementation: one linear scan over all pending µ-ops.
+
+    Reimplemented verbatim (plus the ``next_ready_cycle`` accessor the
+    idle fast-forward now uses) as the behavioural reference for the
+    indexed queue: same request order, same eligibility predicate, same
+    "break on first port failure" priority rule.
+    """
+
+    def __init__(self, mode) -> None:
+        self.mode = mode
+        self._pending: list = []
+        self.issued = 0
+        self.delayed_cycles = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def request(self, op) -> None:
+        from repro.core.validation import ValidationMode
+
+        if self.mode is ValidationMode.IDEAL:
+            op.validation_done_cycle = op.complete_cycle
+            return
+        self._pending.append(op)
+
+    def next_ready_cycle(self):
+        times = [
+            op.complete_cycle for op in self._pending
+            if op.complete_cycle is not None
+        ]
+        return min(times) if times else None
+
+    def issue_cycle(self, cycle, ports):
+        from repro.core.validation import ValidationMode
+
+        if self.mode is ValidationMode.IDEAL or not self._pending:
+            return []
+        lock = self.mode is ValidationMode.REISSUE_LOCK_FU
+        issued = []
+        for op in self._pending:
+            if op.complete_cycle is None or op.complete_cycle > cycle:
+                continue
+            if not ports.try_issue_validation(op.d.fu, cycle, lock):
+                break
+            op.validation_done_cycle = cycle + 1
+            self.delayed_cycles += cycle - op.complete_cycle
+            issued.append(op)
+        if issued:
+            self.issued += len(issued)
+            issued_ids = set(map(id, issued))
+            self._pending = [
+                op for op in self._pending if id(op) not in issued_ids
+            ]
+        return issued
+
+    def squash(self, min_seq: int) -> None:
+        self._pending = [op for op in self._pending if op.d.seq < min_seq]
+
+
+class TestIndexedValidationQueue:
+    """The cycle-indexed queue must be bit-identical to the linear scan."""
+
+    #: (benchmark, window) cells chosen to exercise heavy validation
+    #: traffic and — for hmmer/xalancbmk — RSEP-misprediction squashes
+    #: that drain the queue mid-flight.
+    CELLS = [
+        ("hmmer", 500, 4000),
+        ("dealII", 500, 4000),
+        ("mcf", 500, 3000),
+        ("xalancbmk", 256, 3000),
+    ]
+
+    def _variants(self):
+        from repro.core.validation import ValidationMode
+
+        yield MechanismConfig.rsep_validation(ValidationMode.IDEAL)
+        yield MechanismConfig.rsep_validation(ValidationMode.REISSUE_LOCK_FU)
+        yield MechanismConfig.rsep_validation(ValidationMode.REISSUE_ANY_FU)
+        yield MechanismConfig.rsep_validation(
+            ValidationMode.REISSUE_ANY_FU, sampling=True,
+            start_train_threshold=15,
+        )
+        yield MechanismConfig.rsep_realistic()
+
+    def test_all_modes_match_legacy_scan(self, monkeypatch):
+        import repro.pipeline.core as core_module
+
+        for mechanism in self._variants():
+            for benchmark, warmup, measure in self.CELLS:
+                kwargs = dict(warmup=warmup, measure=measure, seed=1)
+                indexed = Simulator().run_benchmark(
+                    benchmark, mechanism, **kwargs
+                )
+                with monkeypatch.context() as patch:
+                    patch.setattr(
+                        core_module, "ValidationQueue",
+                        _LegacyValidationQueue,
+                    )
+                    legacy = Simulator().run_benchmark(
+                        benchmark, mechanism, **kwargs
+                    )
+                assert stats_dict(indexed.stats) == stats_dict(
+                    legacy.stats
+                ), (mechanism.name, benchmark)
+
+    def test_squash_drops_exactly_the_squashed_requests(self):
+        from repro.backend.fu import IssuePorts, PortConfig
+        from repro.core.validation import ValidationMode, ValidationQueue
+        from repro.isa.opcodes import FuClass
+
+        class _Dyn:
+            def __init__(self, seq, fu=FuClass.INT_ALU):
+                self.seq = seq
+                self.fu = fu
+
+        class _Op:
+            def __init__(self, seq, complete_cycle):
+                self.d = _Dyn(seq)
+                self.complete_cycle = complete_cycle
+                self.validation_done_cycle = None
+
+        queue = ValidationQueue(ValidationMode.REISSUE_ANY_FU)
+        ops = [_Op(seq, complete_cycle) for seq, complete_cycle in [
+            (0, 5), (1, 5), (2, 9), (3, 7), (4, 9),
+        ]]
+        for op in ops:
+            queue.request(op)
+        assert len(queue) == 5
+        assert queue.next_ready_cycle() == 5
+
+        queue.squash(min_seq=3)  # drops seqs 3, 4 (one whole bucket stays)
+        assert len(queue) == 3
+
+        ports = IssuePorts(PortConfig())
+        ports.new_cycle(6)
+        issued = queue.issue_cycle(6, ports)
+        assert [op.d.seq for op in issued] == [0, 1]
+        assert all(op.validation_done_cycle == 7 for op in issued)
+        assert len(queue) == 1  # seq 2 still waiting on cycle 9
+        assert queue.next_ready_cycle() == 9
+        ports.new_cycle(9)
+        assert [op.d.seq for op in queue.issue_cycle(9, ports)] == [2]
+        assert len(queue) == 0 and queue.next_ready_cycle() is None
+
+
+class TestLazyHistorySnapshots:
+    def test_raw_restore_equals_full_restore(self):
+        """Fold recomputation from raw bits must equal the incremental
+        fold state for every registered TAGE/distance geometry."""
+        def build():
+            history = GlobalHistory()
+            path = PathHistory()
+            DistancePredictor(
+                DistancePredictorConfig.realistic(), history, path,
+                XorShift64(3),
+            )
+            from repro.frontend.tage import TageBranchPredictor, TageConfig
+            TageBranchPredictor(TageConfig(), history, path, XorShift64(4))
+            return history
+
+        incremental = build()
+        recomputed = build()
+        rng = XorShift64(17)
+        for step in range(500):
+            bit = rng.next_u64() & 1
+            incremental.push(bit)
+            recomputed.push(bit)
+            if step % 23 == 5:
+                # Round-trip through the raw checkpoint mid-stream...
+                recomputed.restore_raw(recomputed.snapshot_raw())
+                # ...and the full fold state must be unchanged.
+                assert recomputed.snapshot() == incremental.snapshot()
+        snapshot = incremental.snapshot()
+        raw = incremental.snapshot_raw()
+        for _ in range(50):
+            incremental.push(rng.next_u64() & 1)
+        incremental.restore_raw(raw)
+        assert incremental.snapshot() == snapshot
 
 
 class TestGeneratedPredictorPaths:
@@ -209,8 +394,47 @@ class TestGeneratedPredictorPaths:
                     a.provider, a.base_index) == (
                 b.distance, b.use_pred, b.likely_candidate,
                 b.provider, b.base_index)
-            assert a.lookup.indices == b.lookup.indices
-            assert a.lookup.tags == b.lookup.tags
+            assert a.indices == b.indices
+            assert a.tags == b.tags
+            if step % 3 == 0:
+                bit = rng.next_u64() & 1
+                h1.push(bit)
+                h2.push(bit)
+            if step % 5 == 0:
+                branch_pc = rng.next_u64() & 0xFFFF
+                p1.push(branch_pc)
+                p2.push(branch_pc)
+
+    def test_dvtage_fast_predict_matches_reference(self):
+        from repro.predictors.dvtage import DVtageConfig, DVtagePredictor
+
+        def build(seed):
+            history = GlobalHistory()
+            path = PathHistory()
+            predictor = DVtagePredictor(
+                DVtageConfig(), history, path, XorShift64(seed)
+            )
+            return history, path, predictor
+
+        h1, p1, fast = build(9)
+        h2, p2, slow = build(9)
+        rng = XorShift64(123)
+        for step in range(400):
+            pc = (rng.next_u64() & 0x3FFF) << 2
+            a = fast.predict(pc)
+            b = slow.predict_reference(pc)
+            assert (a.value, a.use_pred, a.provider, a.base_index,
+                    a.last_value_valid, a.inflight_rank) == (
+                b.value, b.use_pred, b.provider, b.base_index,
+                b.last_value_valid, b.inflight_rank)
+            assert a.indices == b.indices
+            assert a.tags == b.tags
+            if step % 2 == 0:
+                # Train so strides, confidences, tags and the in-flight
+                # ranks all cycle through real transitions.
+                actual = (rng.next_u64() & 0xFF) * (step % 7)
+                fast.train(a, actual)
+                slow.train(b, actual)
             if step % 3 == 0:
                 bit = rng.next_u64() & 1
                 h1.push(bit)

@@ -65,12 +65,14 @@ class TestBranchUnit:
         for d in branches[1:10]:
             unit.fetch_branch(d)
         unit.squash_to(unit.fetch_branch(branches[10]))
-        # After restoring to branch 10's pre-state we cannot equal the
-        # state right after branch 0 unless nothing was pushed -- just
-        # check restore is self-consistent instead:
+        # Restoring must rebuild the *entire* fold state from the raw-bit
+        # checkpoint: the full (raw, folds) snapshot right before a fetch
+        # must come back exactly after squashing that fetch.
+        full_before = unit.history.snapshot()
         check = unit.fetch_branch(branches[10])
         unit.squash_to(check)
-        assert unit.history.snapshot() == check.history_snapshot
+        assert unit.history.snapshot_raw() == check.history_snapshot
+        assert unit.history.snapshot() == full_before
 
 
 class TestWorkloads:

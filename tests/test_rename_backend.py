@@ -194,23 +194,33 @@ class TestRob:
             rob.push(3)
 
 
+class _IqEntry:
+    """Minimal op: the IQ stores its position in ``iq_index``."""
+
+    def __init__(self, value):
+        self.value = value
+        self.iq_index = -1
+
+
 class TestIssueQueue:
     def test_capacity_and_removal(self):
         iq = IssueQueue(2)
-        iq.insert("a"), iq.insert("b")
+        a, b, c = _IqEntry("a"), _IqEntry("b"), _IqEntry("c")
+        iq.insert(a), iq.insert(b)
         assert iq.full
         with pytest.raises(OverflowError):
-            iq.insert("c")
-        iq.remove_issued(["a"])
-        assert list(iq) == ["b"]
+            iq.insert(c)
+        iq.remove_issued([a])
+        assert list(iq) == [b]
 
     def test_squash_predicate(self):
         iq = IssueQueue(8)
-        for value in range(5):
-            iq.insert(value)
-        dropped = iq.squash(lambda v: v >= 3)
+        entries = [_IqEntry(value) for value in range(5)]
+        for entry in entries:
+            iq.insert(entry)
+        dropped = iq.squash(lambda e: e.value >= 3)
         assert dropped == 2
-        assert list(iq) == [0, 1, 2]
+        assert list(iq) == entries[:3]
 
 
 class _FakeMemOp:

@@ -1,0 +1,188 @@
+"""Sweep engine: cell memoisation, fingerprinting, runner integration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import (
+    SweepEngine,
+    mechanism_fingerprint,
+    shared_engine,
+)
+from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.pipeline.simulator import Simulator
+from repro.workloads.store import TraceStore
+
+
+def stats_dict(stats) -> dict:
+    data = dataclasses.asdict(stats)
+    data.pop("extra")
+    return data
+
+
+def _engine() -> SweepEngine:
+    return SweepEngine(simulator=Simulator(trace_store=None))
+
+
+class TestFingerprint:
+    def test_name_is_not_part_of_the_fingerprint(self):
+        a = MechanismConfig.rsep_ideal()
+        b = dataclasses.replace(a, name="renamed-rsep")
+        assert mechanism_fingerprint(a) == mechanism_fingerprint(b)
+
+    def test_settings_are(self):
+        assert mechanism_fingerprint(
+            MechanismConfig.rsep_ideal()
+        ) != mechanism_fingerprint(MechanismConfig.rsep_realistic())
+        assert mechanism_fingerprint(
+            MechanismConfig.baseline()
+        ) != mechanism_fingerprint(MechanismConfig.move_elimination())
+
+    def test_equal_settings_under_different_presets_collide(self):
+        # rsep_validation(IDEAL) with the default threshold is exactly
+        # rsep_ideal() modulo its name: one simulation must serve both.
+        from repro.core.validation import ValidationMode
+
+        ideal = MechanismConfig.rsep_ideal()
+        via_validation = MechanismConfig.rsep_validation(ValidationMode.IDEAL)
+        assert mechanism_fingerprint(ideal) == mechanism_fingerprint(
+            via_validation
+        )
+
+
+class TestCellMemo:
+    def test_identical_cells_simulate_once(self):
+        engine = _engine()
+        kwargs = dict(seed=1, warmup=256, measure=1000)
+        first = engine.run_cell("mcf", MechanismConfig.baseline(), **kwargs)
+        second = engine.run_cell("mcf", MechanismConfig.baseline(), **kwargs)
+        assert engine.cell_misses == 1
+        assert engine.cell_hits == 1
+        assert stats_dict(first.stats) == stats_dict(second.stats)
+        # Copies, not aliases: callers cannot corrupt the memo.
+        assert first.stats is not second.stats
+
+    def test_memoised_result_equals_fresh_simulation(self):
+        engine = _engine()
+        kwargs = dict(seed=1, warmup=256, measure=1000)
+        engine.run_cell("dealII", MechanismConfig.rsep_realistic(), **kwargs)
+        memoised = engine.run_cell(
+            "dealII", MechanismConfig.rsep_realistic(), **kwargs
+        )
+        fresh = Simulator(trace_store=None).run_benchmark(
+            "dealII", MechanismConfig.rsep_realistic(),
+            warmup=256, measure=1000, seed=1,
+        )
+        assert stats_dict(memoised.stats) == stats_dict(fresh.stats)
+
+    def test_renamed_preset_hits_and_is_rebadged(self):
+        engine = _engine()
+        kwargs = dict(seed=1, warmup=256, measure=1000)
+        engine.run_cell("mcf", MechanismConfig.rsep_ideal(), **kwargs)
+        renamed = dataclasses.replace(
+            MechanismConfig.rsep_ideal(), name="rsep-under-another-name"
+        )
+        result = engine.run_cell("mcf", renamed, **kwargs)
+        assert engine.cell_misses == 1 and engine.cell_hits == 1
+        assert result.mechanism == "rsep-under-another-name"
+
+    def test_window_and_seed_are_part_of_the_key(self):
+        engine = _engine()
+        engine.run_cell("mcf", MechanismConfig.baseline(),
+                        seed=1, warmup=256, measure=1000)
+        engine.run_cell("mcf", MechanismConfig.baseline(),
+                        seed=2, warmup=256, measure=1000)
+        engine.run_cell("mcf", MechanismConfig.baseline(),
+                        seed=1, warmup=256, measure=1500)
+        assert engine.cell_misses == 3 and engine.cell_hits == 0
+
+
+class TestSweep:
+    def test_sweep_shape_and_memoisation(self):
+        engine = _engine()
+        mechanisms = [
+            MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
+        ]
+        results = engine.sweep(
+            ["mcf", "dealII"], mechanisms,
+            seeds=[1, 2], warmup=256, measure=1000,
+        )
+        assert set(results) == {
+            ("mcf", "baseline"), ("mcf", "rsep-realistic"),
+            ("dealII", "baseline"), ("dealII", "rsep-realistic"),
+        }
+        assert all(len(cell) == 2 for cell in results.values())
+        assert engine.cell_misses == 8
+        again = engine.sweep(
+            ["mcf", "dealII"], mechanisms,
+            seeds=[1, 2], warmup=256, measure=1000,
+        )
+        assert engine.cell_misses == 8  # everything memoised
+        for key in results:
+            for a, b in zip(results[key], again[key]):
+                assert stats_dict(a.stats) == stats_dict(b.stats)
+
+    def test_parallel_sweep_matches_sequential(self, tmp_path):
+        mechanisms = [
+            MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
+        ]
+        kwargs = dict(seeds=[1, 2], warmup=256, measure=1000)
+        sequential = _engine().sweep(["mcf", "dealII"], mechanisms, **kwargs)
+        parallel_engine = SweepEngine(
+            simulator=Simulator(trace_store=TraceStore(tmp_path))
+        )
+        parallel = parallel_engine.sweep(
+            ["mcf", "dealII"], mechanisms, workers=2, **kwargs
+        )
+        # A cold parallel sweep is all misses — collecting the cells the
+        # prefill just computed must not read as memo hits.
+        assert parallel_engine.cell_misses == 8
+        assert parallel_engine.cell_hits == 0
+        for key in sequential:
+            for a, b in zip(sequential[key], parallel[key]):
+                assert (a.benchmark, a.mechanism, a.seed) == (
+                    b.benchmark, b.mechanism, b.seed
+                )
+                assert stats_dict(a.stats) == stats_dict(b.stats)
+
+
+class TestRunnerIntegration:
+    def test_runner_on_engine_matches_direct_simulation(self):
+        engine = _engine()
+        runner = ExperimentRunner(
+            benchmarks=["mcf"], seeds=[1], warmup=256, measure=1000,
+            engine=engine,
+        )
+        runner.run([MechanismConfig.baseline(), MechanismConfig.rsep_ideal()])
+        fresh = Simulator(trace_store=None).run_benchmark(
+            "mcf", MechanismConfig.baseline(),
+            warmup=256, measure=1000, seed=1,
+        )
+        outcome = runner.outcome("mcf", "baseline")
+        assert stats_dict(outcome.results[0].stats) == stats_dict(fresh.stats)
+        assert runner.speedup("mcf", "rsep") == (
+            runner.outcome("mcf", "rsep").ipc / outcome.ipc - 1.0
+        )
+
+    def test_two_runners_share_one_engine(self):
+        engine = _engine()
+        kwargs = dict(benchmarks=["mcf"], seeds=[1], warmup=256,
+                      measure=1000, engine=engine)
+        ExperimentRunner(**kwargs).run([MechanismConfig.baseline()])
+        assert engine.cell_misses == 1
+        ExperimentRunner(**kwargs).run([MechanismConfig.baseline()])
+        assert engine.cell_misses == 1  # second runner recalled the cell
+
+    def test_shared_engine_returns_private_engine_for_custom_config(self):
+        default_engine = shared_engine()
+        assert shared_engine() is default_engine
+        custom = CoreConfig(rob_entries=64)
+        assert shared_engine(custom) is not default_engine
+
+
+class TestSmokeGate:
+    def test_smoke_passes(self):
+        from repro.harness.sweep import _smoke
+
+        assert _smoke() == 0

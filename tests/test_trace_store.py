@@ -1,0 +1,220 @@
+"""Persistent trace store: codec round-trip, reuse, invalidation, recovery."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.pipeline.config import MechanismConfig
+from repro.pipeline.simulator import Simulator
+from repro.workloads.spec2006 import generate_trace
+from repro.workloads.store import (
+    TraceStore,
+    pack_trace,
+    unpack_trace,
+    workload_code_version,
+)
+
+DYN_FIELDS = [
+    "seq", "pc", "opcode", "fu", "latency", "pipelined", "dest", "src1",
+    "src2", "result", "addr", "is_load", "is_store", "is_branch",
+    "is_conditional", "is_call", "is_return", "taken", "target_pc",
+    "zero_idiom", "move", "line", "eligible",
+]
+
+
+def stats_dict(stats) -> dict:
+    data = dataclasses.asdict(stats)
+    data.pop("extra")
+    return data
+
+
+def assert_traces_identical(left, right):
+    assert left.name == right.name
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        for field in DYN_FIELDS:
+            assert getattr(a, field) == getattr(b, field), (a.seq, field)
+
+
+class TestCodec:
+    def test_round_trip_is_field_exact(self):
+        # gcc mixes every instruction class: ALU, loads/stores, branches,
+        # calls/returns, moves and zero idioms.
+        trace = generate_trace("gcc", 3000, seed=2)
+        payload = pack_trace(trace, budget=3500)
+        decoded, budget = unpack_trace(payload)
+        assert budget == 3500
+        assert_traces_identical(trace, decoded)
+
+    def test_packed_payload_survives_pickle(self):
+        trace = generate_trace("mcf", 1000, seed=1)
+        payload = pickle.loads(
+            pickle.dumps(pack_trace(trace, 1000),
+                         protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        decoded, _ = unpack_trace(payload)
+        assert_traces_identical(trace, decoded)
+
+    def test_packed_pickle_is_much_smaller_than_object_pickle(self):
+        trace = generate_trace("hmmer", 4000, seed=1)
+        packed = pickle.dumps(pack_trace(trace, 4000),
+                              protocol=pickle.HIGHEST_PROTOCOL)
+        objects = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(packed) < len(objects) / 2.5
+
+    def test_decoded_trace_runs_bit_identically(self, tmp_path):
+        fresh = Simulator(trace_store=None)
+        warm = Simulator(trace_store=TraceStore(tmp_path))
+        # Populate the store, then force a second simulator to load it.
+        Simulator(trace_store=TraceStore(tmp_path)).trace_for(
+            "mcf", 1, 9096
+        )
+        kwargs = dict(warmup=1000, measure=4000, seed=1)
+        a = fresh.run_benchmark("mcf", MechanismConfig.rsep_realistic(),
+                                **kwargs)
+        b = warm.run_benchmark("mcf", MechanismConfig.rsep_realistic(),
+                               **kwargs)
+        assert warm.trace_store.hits == 1
+        assert stats_dict(a.stats) == stats_dict(b.stats)
+
+
+class TestStoreReuse:
+    def test_save_then_load_covers_shorter_requests(self, tmp_path):
+        store = TraceStore(tmp_path)
+        version = workload_code_version()
+        trace = generate_trace("mcf", 4000, seed=1)
+        store.save(trace, "mcf", 1, 4000, version)
+        loaded = store.load("mcf", 1, 2000, version)
+        assert loaded is not None
+        reloaded, budget = loaded
+        assert budget == 4000
+        assert_traces_identical(trace, reloaded)
+
+    def test_longer_request_misses_and_overwrites(self, tmp_path):
+        store = TraceStore(tmp_path)
+        version = workload_code_version()
+        store.save(generate_trace("mcf", 1000, seed=1), "mcf", 1, 1000,
+                   version)
+        assert store.load("mcf", 1, 4000, version) is None
+        longer = generate_trace("mcf", 4000, seed=1)
+        store.save(longer, "mcf", 1, 4000, version)
+        loaded = store.load("mcf", 1, 4000, version)
+        assert loaded is not None and len(loaded[0]) == 4000
+
+    def test_simulator_prefix_reuse_spans_processes(self, tmp_path):
+        # First "process" interprets and persists; second loads, never
+        # interprets, and serves shorter requests from the same object.
+        first = Simulator(trace_store=TraceStore(tmp_path))
+        first.trace_for("omnetpp", 1, 4000)
+        second = Simulator(trace_store=TraceStore(tmp_path))
+        trace = second.trace_for("omnetpp", 1, 4000)
+        assert second.trace_store.hits == 1
+        assert second.trace_for("omnetpp", 1, 1500) is trace
+
+    def test_distinct_seeds_and_benchmarks_do_not_collide(self, tmp_path):
+        store = TraceStore(tmp_path)
+        version = workload_code_version()
+        store.save(generate_trace("mcf", 500, seed=1), "mcf", 1, 500,
+                   version)
+        assert store.load("mcf", 2, 500, version) is None
+        assert store.load("astar", 1, 500, version) is None
+
+
+class TestInvalidation:
+    def test_version_changes_with_source_content(self, tmp_path,
+                                                 monkeypatch):
+        import repro.workloads.store as store_module
+
+        a = tmp_path / "kernels.py"
+        a.write_text("KERNEL = 1\n")
+        monkeypatch.setattr(store_module, "_module_sources",
+                            lambda: [a])
+        monkeypatch.setattr(store_module, "_version_cache", None)
+        before = store_module.workload_code_version()
+        assert store_module.workload_code_version() == before  # memoised
+        a.write_text("KERNEL = 2\n")
+        os.utime(a, ns=(1, 1))  # force a distinct stat signature
+        after = store_module.workload_code_version()
+        assert after != before
+
+    def test_stale_version_cannot_serve_memory_or_disk(self, tmp_path,
+                                                       monkeypatch):
+        import repro.pipeline.simulator as simulator_module
+
+        simulator = Simulator(trace_store=TraceStore(tmp_path))
+        first = simulator.trace_for("mcf", 1, 1000)
+        # Same version: both caches hit.
+        assert simulator.trace_for("mcf", 1, 800) is first
+        # "Edit" the workload code: the version moves, so neither the
+        # in-memory entry nor the on-disk artifact may be served.
+        monkeypatch.setattr(simulator_module, "workload_code_version",
+                            lambda: "deadbeefdeadbeef")
+        rebuilt = simulator.trace_for("mcf", 1, 800)
+        assert rebuilt is not first
+        assert simulator.trace_store.hits == 0
+
+    def test_disk_artifacts_are_versioned(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = generate_trace("mcf", 500, seed=1)
+        store.save(trace, "mcf", 1, 500, "version-a")
+        assert store.load("mcf", 1, 500, "version-b") is None
+        assert store.load("mcf", 1, 500, "version-a") is not None
+
+
+class TestCorruptionRecovery:
+    def _stored_path(self, store: TraceStore) -> "os.PathLike":
+        files = list(store.root.glob("*.trace"))
+        assert len(files) == 1
+        return files[0]
+
+    @pytest.mark.parametrize("corruption", ["truncate", "garbage", "empty"])
+    def test_unreadable_file_falls_back_to_interpretation(
+        self, tmp_path, corruption
+    ):
+        simulator = Simulator(trace_store=TraceStore(tmp_path))
+        original = simulator.trace_for("mcf", 1, 2000)
+        path = self._stored_path(simulator.trace_store)
+        data = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(data[: len(data) // 2])  # partial write
+        elif corruption == "garbage":
+            path.write_bytes(b"\x80\x05garbage" + data[:64])
+        else:
+            path.write_bytes(b"")
+
+        recovering = Simulator(trace_store=TraceStore(tmp_path))
+        rebuilt = recovering.trace_for("mcf", 1, 2000)
+        assert recovering.trace_store.recovered == 1
+        assert recovering.trace_store.hits == 0
+        assert_traces_identical(original, rebuilt)
+        # The bad file was overwritten by the fallback interpretation...
+        assert recovering.trace_store.writes == 1
+        # ...so a third simulator loads it cleanly again.
+        third = Simulator(trace_store=TraceStore(tmp_path))
+        assert_traces_identical(original, third.trace_for("mcf", 1, 2000))
+        assert third.trace_store.hits == 1
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = generate_trace("mcf", 500, seed=1)
+        version = workload_code_version()
+        store.save(trace, "mcf", 1, 500, version)
+        path = self._stored_path(store)
+        payload = pickle.loads(path.read_bytes())
+        payload["format"] = 999
+        path.write_bytes(pickle.dumps(payload))
+        assert store.load("mcf", 1, 500, version) is None
+        assert store.recovered == 1
+
+    def test_unwritable_root_is_non_fatal(self, tmp_path):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("file, not a directory")
+        store = TraceStore(blocked)
+        trace = generate_trace("mcf", 200, seed=1)
+        assert store.save(trace, "mcf", 1, 200, "v") is None
+        simulator = Simulator(trace_store=TraceStore(blocked))
+        assert len(simulator.trace_for("mcf", 1, 200)) == 200
