@@ -37,7 +37,7 @@ BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
 #: Label of the trajectory entry this working tree records.  Bumped once
 #: per perf-relevant PR; override with REPRO_PERF_LABEL for ad-hoc runs.
-CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 2")
+CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 3")
 
 #: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
 #: measured with this same protocol (default window, best-of-3 pipeline
@@ -60,6 +60,11 @@ PINNED_TRAJECTORY = [
         "label": "PR 1",
         "aggregate_kips": {"baseline": 76.48, "rsep-realistic": 48.62},
         "speedup_vs_seed": {"baseline": 2.4, "rsep-realistic": 2.32},
+    },
+    {
+        "label": "PR 2",
+        "aggregate_kips": {"baseline": 87.46, "rsep-realistic": 53.37},
+        "speedup_vs_seed": {"baseline": 2.75, "rsep-realistic": 2.55},
     },
 ]
 SEED_REFERENCE_PER_BENCHMARK = {
@@ -128,6 +133,11 @@ def run_full(repeats: int, json_path: Path) -> int:
             existing = None
 
     payload = report.to_dict()
+    # Preserve sections other benches own (e.g. bench_sampled_window's
+    # "sampled_window"): this bench only replaces its own keys.
+    for key, value in (existing or {}).items():
+        if key not in payload and key != "trajectory":
+            payload[key] = value
     payload["seed_reference_kips"] = SEED_REFERENCE_KIPS
     payload["seed_reference_per_benchmark"] = SEED_REFERENCE_PER_BENCHMARK
     payload["speedup_vs_seed"] = {

@@ -1,11 +1,31 @@
-"""Legacy setup shim.
+"""Build configuration (classic setuptools).
 
-The primary build configuration lives in ``pyproject.toml``.  This file
-exists so that ``pip install -e .`` (and ``python setup.py develop``) work in
-offline environments whose setuptools cannot build PEP 660 editable wheels
-(no ``wheel`` package available).
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install
+-e .`` works in offline environments whose setuptools cannot build
+PEP 660 editable wheels (no ``wheel`` package available).
+
+Installs two console entry points wrapping the module CLIs:
+
+* ``repro-sweep`` → ``python -m repro.harness.sweep``
+* ``repro-perf``  → ``python -m repro.harness.perf``
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-register-sharing",
+    version="1.0.0",  # keep in sync with repro.__version__
+    description=(
+        "Reproduction of 'Register Sharing for Equality Prediction' "
+        "(Perais, Endo, Seznec — MICRO 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-sweep = repro.harness.sweep:main",
+            "repro-perf = repro.harness.perf:main",
+        ],
+    },
+)

@@ -36,6 +36,7 @@ from repro.predictors.distance import (
     DistancePredictorConfig,
 )
 from repro.predictors.dvtage import DVtageConfig, DVtagePredictor
+from repro.sampling import SampledRun, SamplingConfig
 from repro.workloads.spec2006 import benchmark_names, generate_trace
 
 __version__ = "1.0.0"
@@ -50,6 +51,8 @@ __all__ = [
     "Pipeline",
     "RsepConfig",
     "RsepUnit",
+    "SampledRun",
+    "SamplingConfig",
     "SimulationResult",
     "Simulator",
     "Stats",

@@ -38,6 +38,7 @@ from repro.pipeline.simulator import (
     _TRACE_SLACK,  # match Simulator.run_benchmark's trace sizing exactly
     default_windows,
 )
+from repro.sampling import SampledRun, SamplingConfig
 
 #: Benchmarks the throughput bench exercises by default: a spread of
 #: memory-bound (mcf, astar, omnetpp), branchy-integer (bzip2,
@@ -119,8 +120,16 @@ def measure_throughput(
     seed: int = 1,
     repeats: int = 3,
     core_config: CoreConfig | None = None,
+    sampling: SamplingConfig | None = None,
 ) -> PerfReport:
-    """Measure simulated KIPS for every benchmark × mechanism cell."""
+    """Measure simulated KIPS for every benchmark × mechanism cell.
+
+    With an *active* ``sampling`` configuration each timed run is a
+    sampled one (functionally warmed warm-up, interval sampling over the
+    window; no checkpoints — every repeat starts cold), and KIPS counts
+    the *covered window* per wall second — detailed plus warmed
+    instructions — which is the subsystem's effective throughput.
+    """
     if mechanisms is None:
         mechanisms = [
             MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
@@ -154,16 +163,28 @@ def measure_throughput(
             best_wall = None
             stats = None
             simulated = instructions
+            sampled_active = sampling is not None and sampling.active
             for _ in range(repeats):
                 pipeline = Pipeline(
                     trace, simulator.core_config, mechanism, seed
                 )
-                start = time.perf_counter()
-                stats = pipeline.run(measure, warmup)
-                wall = time.perf_counter() - start
-                # The run can end early if the trace halts before the
-                # window fills; count what was actually simulated.
-                simulated = pipeline.total_committed
+                if sampled_active:
+                    run = SampledRun(pipeline, sampling)
+                    start = time.perf_counter()
+                    warmed_up = run.warm_up(warmup)
+                    stats = run.measure(measure)
+                    wall = time.perf_counter() - start
+                    # Effective throughput: the covered window (warm-up
+                    # actually warmed + sampled measurement span) —
+                    # both can fall short when the trace halts early.
+                    simulated = warmed_up + stats.sampled_window
+                else:
+                    start = time.perf_counter()
+                    stats = pipeline.run(measure, warmup)
+                    wall = time.perf_counter() - start
+                    # The run can end early if the trace halts before the
+                    # window fills; count what was actually simulated.
+                    simulated = pipeline.total_committed
                 if best_wall is None or wall < best_wall:
                     best_wall = wall
             report.samples.append(PerfSample(
@@ -231,8 +252,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the report as JSON to PATH "
                         "('-' for stdout)")
+    parser.add_argument("--sampled", action="store_true",
+                        help="time interval-sampled runs (KIPS then counts "
+                        "the covered window: detailed + warmed)")
+    parser.add_argument("--interval", type=int, default=None,
+                        help="with --sampled: instructions per interval "
+                        "(default: REPRO_INTERVAL)")
+    parser.add_argument("--detail-ratio", type=float, default=None,
+                        help="with --sampled: measured fraction per "
+                        "interval (default: REPRO_DETAIL_RATIO)")
     args = parser.parse_args(argv)
 
+    sampling = None
+    if args.sampled:
+        from dataclasses import replace
+
+        sampling = replace(
+            SamplingConfig.from_environment(), enabled=True,
+        )
+        if args.interval is not None:
+            sampling = replace(sampling, interval=args.interval)
+        if args.detail_ratio is not None:
+            sampling = replace(sampling, detail_ratio=args.detail_ratio)
     mechanisms = None
     if args.mechanisms:
         mechanisms = [mechanism_by_name(name) for name in args.mechanisms]
@@ -244,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         measure=args.measure,
         seed=args.seed,
         repeats=args.repeats,
+        sampling=sampling,
     )
     print(render_report(report))
     if args.json == "-":

@@ -31,6 +31,19 @@ def format_percent(value: float, digits: int = 1) -> str:
     return f"{100.0 * value:+.{digits}f}%"
 
 
+def format_ipc(stats, digits: int = 3) -> str:
+    """IPC, with its ± confidence half-width when interval-sampled.
+
+    Full-detail windows render as before (``1.234``); sampled windows
+    carry the estimate's confidence interval (``1.234 ±0.012``), per the
+    aggregation of DESIGN.md §8.
+    """
+    value = f"{stats.ipc:.{digits}f}"
+    if getattr(stats, "warmed", 0):
+        return f"{value} ±{stats.ipc_ci:.{digits}f}"
+    return value
+
+
 class Table:
     """A fixed-column ASCII table."""
 

@@ -29,6 +29,7 @@ from repro.harness.sweep import SweepEngine, shared_engine
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.simulator import SimulationResult
 from repro.pipeline.stats import Stats
+from repro.sampling import SamplingConfig
 from repro.workloads.spec2006 import benchmark_names
 
 
@@ -73,6 +74,7 @@ class ExperimentRunner:
         warmup: int | None = None,
         measure: int | None = None,
         engine: SweepEngine | None = None,
+        sampling: SamplingConfig | None = None,
     ) -> None:
         if (
             engine is not None
@@ -89,6 +91,8 @@ class ExperimentRunner:
         self.seeds = seeds or default_seeds()
         self.warmup = warmup
         self.measure = measure
+        #: ``None`` follows the environment (REPRO_SAMPLING and friends).
+        self.sampling = sampling
         self._cells: dict[tuple[str, str], BenchmarkOutcome] = {}
 
     # ------------------------------------------------------------------
@@ -107,7 +111,7 @@ class ExperimentRunner:
         swept = self.engine.sweep(
             self.benchmarks, mechanisms,
             seeds=self.seeds, warmup=self.warmup, measure=self.measure,
-            workers=workers,
+            workers=workers, sampling=self.sampling,
         )
         for (benchmark, name), results in swept.items():
             if (benchmark, name) in self._cells:
@@ -130,6 +134,7 @@ class ExperimentRunner:
                 self.engine.run_cell(
                     benchmark, mechanism,
                     seed=seed, warmup=self.warmup, measure=self.measure,
+                    sampling=self.sampling,
                 )
             )
         self._cells[key] = cell

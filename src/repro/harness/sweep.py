@@ -43,9 +43,11 @@ from repro.pipeline.simulator import (
     Simulator,
     default_windows,
 )
+from repro.sampling import SamplingConfig
 
-#: Cell key: (benchmark, seed, warmup, measure, mechanism fingerprint).
-CellKey = tuple[str, int, int, int, str]
+#: Cell key: (benchmark, seed, warmup, measure, mechanism fingerprint,
+#: sampling fingerprint).
+CellKey = tuple[str, int, int, int, str, str]
 
 
 def mechanism_fingerprint(mechanism: MechanismConfig) -> str:
@@ -55,7 +57,7 @@ def mechanism_fingerprint(mechanism: MechanismConfig) -> str:
     machine being simulated.  Everything else is a tree of frozen
     dataclasses, enums and scalars with deterministic ``repr``.
     """
-    return repr(dataclasses.replace(mechanism, name=""))
+    return mechanism.fingerprint()
 
 
 def default_workers() -> int:
@@ -90,12 +92,15 @@ def _run_cells_task(payload) -> list[SimulationResult]:
     """
     from repro.workloads.store import TraceStore
 
-    core_config, store_root, benchmark, cells, warmup, measure = payload
+    (
+        core_config, store_root, benchmark, cells, warmup, measure, sampling,
+    ) = payload
     store = TraceStore(store_root) if store_root is not None else None
     simulator = Simulator(core_config, trace_store=store)
     return [
         simulator.run_benchmark(
             benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
+            sampling=sampling,
         )
         for mechanism, seed in cells
     ]
@@ -108,18 +113,32 @@ class SweepEngine:
         self,
         core_config: CoreConfig | None = None,
         simulator: Simulator | None = None,
+        sampling: SamplingConfig | None = None,
     ) -> None:
         self.simulator = simulator or Simulator(core_config)
         self.core_config = self.simulator.core_config
+        #: Engine-wide sampling default; ``None`` follows the environment
+        #: (``REPRO_SAMPLING`` and friends) at each call.
+        self.sampling = sampling
         self._cells: dict[CellKey, SimulationResult] = {}
         self.cell_hits = 0
         self.cell_misses = 0
 
     # ------------------------------------------------------------------
 
+    def _resolve_sampling(
+        self, sampling: SamplingConfig | None
+    ) -> SamplingConfig:
+        if sampling is not None:
+            return sampling
+        if self.sampling is not None:
+            return self.sampling
+        return SamplingConfig.from_environment()
+
     def _key(
         self, benchmark: str, mechanism: MechanismConfig, seed: int,
         warmup: int | None, measure: int | None,
+        sampling: SamplingConfig,
     ) -> CellKey:
         if warmup is None or measure is None:
             default_warmup, default_measure = default_windows()
@@ -128,6 +147,7 @@ class SweepEngine:
         return (
             benchmark, seed, warmup, measure,
             mechanism_fingerprint(mechanism),
+            sampling.fingerprint(),
         )
 
     def run_cell(
@@ -137,9 +157,11 @@ class SweepEngine:
         seed: int = 1,
         warmup: int | None = None,
         measure: int | None = None,
+        sampling: SamplingConfig | None = None,
     ) -> SimulationResult:
         """Simulate (or recall) one cell; returns a private result copy."""
-        key = self._key(benchmark, mechanism, seed, warmup, measure)
+        sampling = self._resolve_sampling(sampling)
+        key = self._key(benchmark, mechanism, seed, warmup, measure, sampling)
         cached = self._cells.get(key)
         if cached is not None:
             self.cell_hits += 1
@@ -147,6 +169,7 @@ class SweepEngine:
         self.cell_misses += 1
         result = self.simulator.run_benchmark(
             benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
+            sampling=sampling,
         )
         self._cells[key] = result
         return _copy_result(result, benchmark, mechanism.name, seed)
@@ -159,6 +182,7 @@ class SweepEngine:
         warmup: int | None = None,
         measure: int | None = None,
         workers: int | None = None,
+        sampling: SamplingConfig | None = None,
     ) -> dict[tuple[str, str], list[SimulationResult]]:
         """Run every benchmark × mechanism × seed cell.
 
@@ -170,10 +194,12 @@ class SweepEngine:
         seeds = seeds or [1]
         if workers is None:
             workers = default_workers()
+        sampling = self._resolve_sampling(sampling)
         prefilled: set[CellKey] = set()
         if workers > 1:
             prefilled = self._prefill_parallel(
-                benchmarks, mechanisms, seeds, warmup, measure, workers
+                benchmarks, mechanisms, seeds, warmup, measure, workers,
+                sampling,
             )
         out: dict[tuple[str, str], list[SimulationResult]] = {}
         for benchmark in benchmarks:
@@ -181,12 +207,13 @@ class SweepEngine:
                 results = []
                 for seed in seeds:
                     key = self._key(
-                        benchmark, mechanism, seed, warmup, measure
+                        benchmark, mechanism, seed, warmup, measure, sampling
                     )
                     cached = self._cells.get(key)
                     if cached is None:
                         results.append(self.run_cell(
-                            benchmark, mechanism, seed, warmup, measure
+                            benchmark, mechanism, seed, warmup, measure,
+                            sampling,
                         ))
                         continue
                     if key in prefilled:
@@ -203,7 +230,8 @@ class SweepEngine:
         return out
 
     def _prefill_parallel(
-        self, benchmarks, mechanisms, seeds, warmup, measure, workers
+        self, benchmarks, mechanisms, seeds, warmup, measure, workers,
+        sampling,
     ) -> set[CellKey]:
         """Fan missing cells out over a process pool, merge in task order.
 
@@ -220,7 +248,9 @@ class SweepEngine:
                 (mechanism, seed)
                 for mechanism in mechanisms
                 for seed in seeds
-                if self._key(benchmark, mechanism, seed, warmup, measure)
+                if self._key(
+                    benchmark, mechanism, seed, warmup, measure, sampling
+                )
                 not in self._cells
             ]
             if not todo:
@@ -229,7 +259,7 @@ class SweepEngine:
             store = self.simulator.trace_store
             tasks.append((
                 self.core_config, str(store.root) if store else None,
-                benchmark, todo, warmup, measure,
+                benchmark, todo, warmup, measure, sampling,
             ))
         filled: set[CellKey] = set()
         if not tasks:
@@ -238,7 +268,9 @@ class SweepEngine:
             per_task = pool.map(_run_cells_task, tasks)
         for (benchmark, todo), results in zip(task_plan, per_task):
             for (mechanism, seed), result in zip(todo, results):
-                key = self._key(benchmark, mechanism, seed, warmup, measure)
+                key = self._key(
+                    benchmark, mechanism, seed, warmup, measure, sampling
+                )
                 self._cells[key] = result
                 self.cell_misses += 1
                 filled.add(key)
@@ -279,7 +311,76 @@ def reset_shared_engine() -> None:
 # ---------------------------------------------------------------------------
 
 
-def _smoke() -> int:
+def _smoke_sampled(benchmarks, mechanisms, kwargs) -> int:
+    """Sampled-mode gates, run against a private temporary store.
+
+    Checks, in order: the degenerate 100%-duty configuration shares the
+    plain cell (bit-identical by construction, fingerprint-folded); an
+    active sampled sweep is deterministic cold == memoised == restored
+    from its own µarch checkpoints; its fields are populated; and its
+    IPC lands within a loose sanity band of the full-detail result.
+    """
+    import tempfile
+
+    from repro.workloads.store import TraceStore
+
+    degenerate = SamplingConfig(enabled=True, detail_ratio=1.0)
+    active = SamplingConfig(
+        enabled=True, interval=1000, detail_ratio=0.25, detail_warmup=128
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-sampled-") as root:
+        engine = SweepEngine(simulator=Simulator(trace_store=TraceStore(root)))
+        full = engine.sweep(benchmarks, mechanisms, **kwargs)
+        degen = engine.sweep(
+            benchmarks, mechanisms, sampling=degenerate, **kwargs
+        )
+        for key in full:
+            for a, b in zip(full[key], degen[key]):
+                if dataclasses.asdict(a.stats) != dataclasses.asdict(b.stats):
+                    print(f"sampled smoke: degenerate diverged for {key}")
+                    return 1
+        cold = engine.sweep(benchmarks, mechanisms, sampling=active, **kwargs)
+        memo = engine.sweep(benchmarks, mechanisms, sampling=active, **kwargs)
+        # A fresh engine on the same store restores the µarch checkpoints
+        # the cold sweep captured; results must not change.
+        warm_engine = SweepEngine(
+            simulator=Simulator(trace_store=TraceStore(root))
+        )
+        warm = warm_engine.sweep(
+            benchmarks, mechanisms, sampling=active, **kwargs
+        )
+        if warm_engine.simulator.trace_store.checkpoint_hits == 0:
+            print("sampled smoke: no checkpoint was restored")
+            return 1
+        for key in cold:
+            for a, b, c in zip(cold[key], memo[key], warm[key]):
+                if not (
+                    dataclasses.asdict(a.stats)
+                    == dataclasses.asdict(b.stats)
+                    == dataclasses.asdict(c.stats)
+                ):
+                    print(f"sampled smoke: stats diverged for {key}")
+                    return 1
+                stats = a.stats
+                if not (stats.warmed > 0 and stats.intervals > 0
+                        and stats.sampled_window > 0):
+                    print(f"sampled smoke: sampling fields unset for {key}")
+                    return 1
+                reference = full[key][0].ipc
+                if reference > 0 and abs(
+                    stats.ipc - reference
+                ) / reference > 0.35:
+                    print(
+                        f"sampled smoke: IPC off by more than 35% for {key} "
+                        f"(sampled {stats.ipc:.3f} vs full {reference:.3f})"
+                    )
+                    return 1
+    print("sampled smoke: degenerate bit-identical, sampled cold == "
+          f"memoised == checkpoint-restored ({len(cold)} cells)")
+    return 0
+
+
+def _smoke(sampled: bool = False) -> int:
     """Fail (non-zero) unless memoised and store-warmed sweeps agree."""
     import tempfile
 
@@ -331,6 +432,8 @@ def _smoke() -> int:
                     return 1
     print("sweep smoke: cold == memoised == warm-store "
           f"({len(cold)} cells over {benchmarks})")
+    if sampled:
+        return _smoke_sampled(benchmarks, mechanisms, kwargs)
     return 0
 
 
@@ -346,9 +449,15 @@ def main(argv: list[str] | None = None) -> int:
         help="CI gate: verify memoised and warm-store sweeps are "
         "bit-identical to a cold sweep",
     )
+    parser.add_argument(
+        "--sampled", action="store_true",
+        help="with --smoke: additionally gate the sampled-simulation "
+        "subsystem (degenerate bit-identity, sampled determinism, "
+        "checkpoint restore)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        return _smoke()
+        return _smoke(sampled=args.sampled)
     parser.print_help()
     return 2
 

@@ -141,3 +141,14 @@ class MechanismConfig:
 
     def with_rsep(self, rsep: RsepConfig, name: str | None = None):
         return replace(self, rsep=rsep, name=name or self.name)
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of this configuration.
+
+        The display name is excluded: it labels the experiment, not the
+        machine being simulated.  Everything else is a tree of frozen
+        dataclasses, enums and scalars with deterministic ``repr``.
+        Used by the sweep engine's cell memo and the µarch-checkpoint
+        keys.
+        """
+        return repr(replace(self, name=""))

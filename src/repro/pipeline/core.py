@@ -241,21 +241,84 @@ class Pipeline:
         if gc_was_enabled:
             gc.disable()
         try:
-            while self._total_committed < warmup and not self._finished():
-                self._step()
+            self.run_until(warmup)
             self.stats.reset_window()
-            target = self._total_committed + instructions
-            while self._total_committed < target and not self._finished():
-                self._step()
+            self.run_until(self._total_committed + instructions)
         finally:
             if gc_was_enabled:
                 gc.enable()
         return self.stats
 
+    def run_until(self, target_committed: int) -> None:
+        """Step until *target_committed* total commits (or the trace ends).
+
+        No window reset, no GC management: chaining ``run_until`` calls
+        with increasing targets executes exactly the step sequence of one
+        call with the final target, which is what lets the sampled-
+        simulation controller chunk a window into intervals while its
+        100%-duty degenerate case stays bit-identical to :meth:`run`.
+        """
+        while self._total_committed < target_committed and not self._finished():
+            self._step()
+
     @property
     def total_committed(self) -> int:
         """Instructions committed since construction (warm-up included)."""
         return self._total_committed
+
+    # ------------------------------------------------------------------
+    # Sampled-simulation hooks (see repro.sampling; DESIGN.md §8)
+    # ------------------------------------------------------------------
+
+    def drain_inflight(self) -> int:
+        """Flush all speculation back to the committed frontier.
+
+        Used at a sampling-interval boundary before handing the trace to
+        the functional warmer: every in-flight instruction is squashed
+        (restoring the rename map, free list, ISRB and branch history to
+        the committed point) and the trace cursor rewinds to the oldest
+        flushed instruction, which is where warming resumes.  The squash
+        is *stats-neutral* — interval boundaries are a measurement
+        artifact, not microarchitectural events.  Returns the resume
+        trace index.
+        """
+        rob = self.rob
+        fetch_buffer = self._fetch_buffer
+        if rob.empty and not fetch_buffer:
+            return self._cursor
+        head = rob.head() if not rob.empty else fetch_buffer[0]
+        squashed_before = self.stats.squashed_ops
+        self._squash_from_seq(head.d.seq, head.trace_index, self.cycle)
+        self.stats.squashed_ops = squashed_before
+        # Every parked op is now squashed, so the scheduler's wakeup
+        # state is dead weight; clearing it also keeps stale past-cycle
+        # buckets from pinning the idle fast-forward after the warmer
+        # advances the clock past them.
+        self._ready.clear()
+        self._wakeup.clear()
+        self._wakeup_heap.clear()
+        self._preg_waiters.clear()
+        return self._cursor
+
+    def skip_to(self, index: int, cycle: int) -> None:
+        """Resume fetch at trace *index* after an externally warmed span.
+
+        The warmer advances a pseudo-clock (one cycle per warmed
+        instruction) so downstream cycle-stamped state — MSHR fills, DRAM
+        bank timers — stays monotone; the pipeline adopts that clock here.
+        ``Stats.cycles`` is untouched: measured cycles accumulate only
+        while detailed intervals step.
+        """
+        if not (self.rob.empty and not self._fetch_buffer):
+            raise PipelineError("skip_to requires a drained pipeline")
+        self._cursor = index
+        if cycle > self.cycle:
+            self.cycle = cycle
+        if self._next_fetch_cycle < self.cycle:
+            self._next_fetch_cycle = self.cycle
+        self._fetch_stalled_by = None
+        self._last_fetch_line = -1
+        self._last_progress_cycle = self.cycle
 
     def _finished(self) -> bool:
         return (

@@ -15,6 +15,13 @@ from dataclasses import dataclass
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.stats import Stats
+from repro.sampling import (
+    SampledRun,
+    SamplingConfig,
+    capture_checkpoint,
+    restore_checkpoint,
+)
+from repro.sampling.checkpoint import CHECKPOINT_FORMAT
 from repro.workloads.spec2006 import build_benchmark
 from repro.workloads.store import TraceStore, workload_code_version
 from repro.workloads.trace import Trace, execute
@@ -117,15 +124,83 @@ class Simulator:
         warmup: int | None = None,
         measure: int | None = None,
         seed: int = 1,
+        sampling: SamplingConfig | None = None,
     ) -> SimulationResult:
-        """Run one benchmark/mechanism/seed combination."""
+        """Run one benchmark/mechanism/seed combination.
+
+        ``sampling=None`` follows the environment (``REPRO_SAMPLING``
+        and friends, like the window variables); an *inactive*
+        configuration — disabled, or the degenerate 100%-duty ratio —
+        takes the plain full-detail path unchanged.
+        """
         if warmup is None or measure is None:
             default_warm, default_measure = default_windows()
             warmup = default_warm if warmup is None else warmup
             measure = default_measure if measure is None else measure
+        if sampling is None:
+            sampling = SamplingConfig.from_environment()
+        if sampling.active:
+            return self._run_sampled(
+                benchmark, mechanisms, warmup, measure, seed, sampling
+            )
         trace = self.trace_for(benchmark, seed, warmup + measure + _TRACE_SLACK)
         pipeline = Pipeline(trace, self.core_config, mechanisms, seed)
         stats = pipeline.run(measure, warmup)
+        return SimulationResult(benchmark, mechanisms.name, seed, stats)
+
+    def _checkpoint_token(
+        self, mechanisms: MechanismConfig, warmup: int
+    ) -> str:
+        """Everything (beyond benchmark/seed) the warmed state depends on."""
+        return "\x00".join((
+            workload_code_version(),
+            str(warmup),
+            repr(self.core_config),
+            mechanisms.fingerprint(),
+            f"ckpt{CHECKPOINT_FORMAT}",
+        ))
+
+    def _run_sampled(
+        self,
+        benchmark: str,
+        mechanisms: MechanismConfig,
+        warmup: int,
+        measure: int,
+        seed: int,
+        sampling: SamplingConfig,
+    ) -> SimulationResult:
+        """Interval-sampled run: warmed warm-up (or a restored µarch
+        checkpoint), then alternating detail/warming over the window."""
+        trace = self.trace_for(benchmark, seed, warmup + measure + _TRACE_SLACK)
+        pipeline = Pipeline(trace, self.core_config, mechanisms, seed)
+        run = SampledRun(pipeline, sampling)
+        store = self.trace_store
+        use_checkpoints = (
+            store is not None and sampling.checkpoints and warmup > 0
+        )
+        restored = False
+        token = ""
+        if use_checkpoints:
+            token = self._checkpoint_token(mechanisms, warmup)
+            payload = store.load_checkpoint(benchmark, seed, token)
+            if payload is not None:
+                try:
+                    restore_checkpoint(pipeline, payload)
+                    restored = True
+                except Exception:
+                    # Stale/foreign payload: the pipeline may be half
+                    # mutated — rebuild and warm from scratch.
+                    pipeline = Pipeline(
+                        trace, self.core_config, mechanisms, seed
+                    )
+                    run = SampledRun(pipeline, sampling)
+        if not restored and warmup > 0:
+            run.warm_up(warmup)
+            if use_checkpoints:
+                store.save_checkpoint(
+                    capture_checkpoint(pipeline), benchmark, seed, token
+                )
+        stats = run.measure(measure)
         return SimulationResult(benchmark, mechanisms.name, seed, stats)
 
     def run_trace(

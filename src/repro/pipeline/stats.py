@@ -57,6 +57,17 @@ class Stats:
     stall_regs: int = 0
     stall_lsq: int = 0
 
+    # Interval-sampling aggregation (DESIGN.md §8).  The raw counters
+    # above cover the *detailed* intervals only; these fields describe
+    # how those intervals sample the full window.  All four stay zero
+    # unless functional warming actually skipped instructions, so a
+    # 100%-duty-cycle (degenerate) sampled run and a plain full-detail
+    # run produce bit-identical ``Stats``.
+    intervals: int = 0        # detailed intervals aggregated
+    warmed: int = 0           # instructions covered by functional warming
+    sampled_window: int = 0   # window covered (committed + warmed)
+    ipc_ci: float = 0.0       # confidence-interval half-width on ipc
+
     extra: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -64,6 +75,11 @@ class Stats:
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def sampled(self) -> bool:
+        """True iff this window was measured by interval sampling."""
+        return self.warmed > 0
 
     @property
     def branch_mpki(self) -> float:

@@ -1,0 +1,28 @@
+"""Sampled simulation: interval sampling with functional warming.
+
+The subsystem behind 10×-larger measurement windows (DESIGN.md §8):
+short detailed intervals alternate with a stripped committed-path replay
+that keeps every stateful structure warm, per-interval statistics
+aggregate into a windowed IPC estimate with a confidence interval, and
+microarchitectural checkpoints persist the warmed state so repeated
+sweeps skip warm-up entirely.
+"""
+
+from repro.sampling.checkpoint import (
+    CheckpointError,
+    capture_checkpoint,
+    restore_checkpoint,
+)
+from repro.sampling.config import SamplingConfig
+from repro.sampling.controller import SampledRun, confidence_halfwidth
+from repro.sampling.warming import FunctionalWarmer
+
+__all__ = [
+    "CheckpointError",
+    "FunctionalWarmer",
+    "SampledRun",
+    "SamplingConfig",
+    "capture_checkpoint",
+    "confidence_halfwidth",
+    "restore_checkpoint",
+]

@@ -273,6 +273,10 @@ class TraceStore:
         self.misses = 0
         self.writes = 0
         self.recovered = 0  # corrupt/truncated files treated as misses
+        # µarch checkpoints (repro.sampling) stored alongside traces.
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoint_writes = 0
 
     @classmethod
     def from_environment(cls) -> "TraceStore | None":
@@ -356,4 +360,69 @@ class TraceStore:
         except OSError:
             return None  # read-only store, full disk, ... — not fatal
         self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Microarchitectural checkpoints (repro.sampling, DESIGN.md §8)
+    # ------------------------------------------------------------------
+
+    def checkpoint_path(self, benchmark: str, seed: int, token: str) -> Path:
+        """File path of one warmed-state checkpoint artifact.
+
+        *token* encodes everything beyond (benchmark, seed) that the
+        warmed state depends on — warm-up length, mechanism and core
+        configuration, workload-code version, checkpoint format — so the
+        name is content-addressed exactly like trace files.
+        """
+        digest = hashlib.sha256(
+            f"{benchmark}\x00{seed}\x00{token}".encode()
+        ).hexdigest()[:20]
+        safe = "".join(c if c.isalnum() else "_" for c in benchmark)
+        return self.root / f"{safe}-s{seed}-{digest}.ckpt"
+
+    def load_checkpoint(
+        self, benchmark: str, seed: int, token: str
+    ) -> dict | None:
+        """Return a stored checkpoint payload, or None on any miss.
+
+        Unreadable files (truncated, corrupt, foreign format) are
+        misses; the caller re-warms and :meth:`save_checkpoint`
+        overwrites the bad artifact.
+        """
+        path = self.checkpoint_path(benchmark, seed, token)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("not a checkpoint payload")
+        except Exception:
+            self.checkpoint_misses += 1
+            return None
+        self.checkpoint_hits += 1
+        return payload
+
+    def save_checkpoint(
+        self, payload: dict, benchmark: str, seed: int, token: str
+    ) -> Path | None:
+        """Persist a checkpoint atomically; best-effort like :meth:`save`."""
+        path = self.checkpoint_path(benchmark, seed, token)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+        self.checkpoint_writes += 1
         return path

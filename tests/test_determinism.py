@@ -44,6 +44,7 @@ GOLDEN_MCF_BASELINE = {
     "branch_mispredicts": 0, "loads": 2201, "stores": 0,
     "load_forwards": 0, "stall_rob": 0, "stall_iq": 0, "stall_regs": 0,
     "stall_lsq": 7305,
+    "intervals": 0, "warmed": 0, "sampled_window": 0, "ipc_ci": 0.0,
 }
 
 GOLDEN_MCF_RSEP_REALISTIC = {
@@ -57,6 +58,7 @@ GOLDEN_MCF_RSEP_REALISTIC = {
     "branch_mispredicts": 0, "loads": 2202, "stores": 0,
     "load_forwards": 0, "stall_rob": 0, "stall_iq": 0, "stall_regs": 0,
     "stall_lsq": 7305,
+    "intervals": 0, "warmed": 0, "sampled_window": 0, "ipc_ci": 0.0,
 }
 
 # Squash-exercising golden: libquantum, rsep+vpred, seed 1,
@@ -73,6 +75,7 @@ GOLDEN_LIBQUANTUM_RSEP_VP = {
     "branch_mispredicts": 0, "loads": 847, "stores": 0,
     "load_forwards": 0, "stall_rob": 231, "stall_iq": 1683,
     "stall_regs": 0, "stall_lsq": 0,
+    "intervals": 0, "warmed": 0, "sampled_window": 0, "ipc_ci": 0.0,
 }
 
 
