@@ -37,7 +37,7 @@ BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
 #: Label of the trajectory entry this working tree records.  Bumped once
 #: per perf-relevant PR; override with REPRO_PERF_LABEL for ad-hoc runs.
-CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 3")
+CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 4")
 
 #: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
 #: measured with this same protocol (default window, best-of-3 pipeline
@@ -65,6 +65,11 @@ PINNED_TRAJECTORY = [
         "label": "PR 2",
         "aggregate_kips": {"baseline": 87.46, "rsep-realistic": 53.37},
         "speedup_vs_seed": {"baseline": 2.75, "rsep-realistic": 2.55},
+    },
+    {
+        "label": "PR 3",
+        "aggregate_kips": {"baseline": 91.07, "rsep-realistic": 56.55},
+        "speedup_vs_seed": {"baseline": 2.86, "rsep-realistic": 2.7},
     },
 ]
 SEED_REFERENCE_PER_BENCHMARK = {

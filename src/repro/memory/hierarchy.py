@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.memory.cache import Cache, LINE_SHIFT
 from repro.memory.dram import DramConfig, DramModel
 from repro.memory.prefetcher import StreamPrefetcher, StridePrefetcher
-from repro.memory.tlb import Tlb
+from repro.memory.tlb import PAGE_SHIFT, Tlb
 
 
 @dataclass(frozen=True)
@@ -130,21 +130,59 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
 
     def load(self, pc: int, addr: int, cycle: int) -> int:
-        """Data load at *cycle*; returns load-to-use latency."""
+        """Data load at *cycle*; returns load-to-use latency.
+
+        Hot-path inlining: the DTLB access and the L1D hit path run
+        with no method dispatch (bodies of ``Tlb.access``,
+        ``Cache.lookup``/``Cache.touch`` verbatim — edit together; the
+        golden suites pin every counter).  Misses and MSHR merges fall
+        back to the full machinery.
+        """
         c = self.config
-        latency = self.dtlb.access(addr)
+        # --- inlined self.dtlb.access(addr) ---------------------------
+        dtlb = self.dtlb
+        page = addr >> PAGE_SHIFT
+        pages = dtlb._pages
+        if page in pages:
+            del pages[page]
+            pages[page] = None  # refresh to MRU
+            dtlb.hits += 1
+            latency = 0
+        else:
+            dtlb.misses += 1
+            pages[page] = None
+            if len(pages) > dtlb._entries:
+                del pages[next(iter(pages))]  # evict the LRU page
+            latency = dtlb.walk_penalty
         line = addr >> LINE_SHIFT
 
         if c.enable_prefetch:
-            for prefetch_addr in self.stride_prefetcher.observe(pc, addr):
-                self._prefetch_into_l1d(prefetch_addr, cycle)
+            prefetches = self.stride_prefetcher.observe(pc, addr)
+            if prefetches:
+                for prefetch_addr in prefetches:
+                    self._prefetch_into_l1d(prefetch_addr, cycle)
 
-        l1_hit, l1_merge = self.l1d.lookup(line, cycle)
-        if l1_hit:
-            return latency + c.l1d_latency + l1_merge
-        miss_latency = self._miss_path_latency(line, cycle)
-        stall = self.l1d.start_miss(line, cycle, miss_latency)
-        return latency + miss_latency + stall
+        # --- inlined self.l1d.lookup(line, cycle), hit path -----------
+        l1d = self.l1d
+        pending = l1d._pending
+        if pending:
+            l1d._prune_pending(cycle)
+            if line in pending:
+                l1d.touch(line)
+                l1d.stats.mshr_merges += 1
+                return latency + c.l1d_latency + (pending[line] - cycle)
+        ways = l1d._tags[line & l1d._set_mask]
+        try:
+            position = ways.index(line)
+        except ValueError:
+            l1d.stats.misses += 1
+            miss_latency = self._miss_path_latency(line, cycle)
+            stall = l1d.start_miss(line, cycle, miss_latency)
+            return latency + miss_latency + stall
+        if position:
+            ways.insert(0, ways.pop(position))
+        l1d.stats.hits += 1
+        return latency + c.l1d_latency
 
     def store(self, pc: int, addr: int, cycle: int) -> int:
         """Data store (write-allocate, write-back); returns fill latency.
@@ -167,13 +205,44 @@ class MemoryHierarchy:
         """Instruction fetch of the block containing *pc*.
 
         Returns *extra* front-end bubble cycles (0 when L1I hits: the
-        1-cycle access is part of the pipelined front end).
+        1-cycle access is part of the pipelined front end).  The ITLB
+        and L1I hit paths are inlined like :meth:`load`'s.
         """
-        latency = self.itlb.access(pc)
+        # --- inlined self.itlb.access(pc) -----------------------------
+        itlb = self.itlb
+        page = pc >> PAGE_SHIFT
+        pages = itlb._pages
+        if page in pages:
+            del pages[page]
+            pages[page] = None  # refresh to MRU
+            itlb.hits += 1
+            latency = 0
+        else:
+            itlb.misses += 1
+            pages[page] = None
+            if len(pages) > itlb._entries:
+                del pages[next(iter(pages))]  # evict the LRU page
+            latency = itlb.walk_penalty
         line = pc >> LINE_SHIFT
-        l1_hit, l1_merge = self.l1i.lookup(line, cycle)
-        if l1_hit:
-            return latency + l1_merge
-        miss_latency = self._miss_path_latency(line, cycle)
-        stall = self.l1i.start_miss(line, cycle, miss_latency)
-        return latency + miss_latency + stall
+
+        # --- inlined self.l1i.lookup(line, cycle), hit path -----------
+        l1i = self.l1i
+        pending = l1i._pending
+        if pending:
+            l1i._prune_pending(cycle)
+            if line in pending:
+                l1i.touch(line)
+                l1i.stats.mshr_merges += 1
+                return latency + (pending[line] - cycle)
+        ways = l1i._tags[line & l1i._set_mask]
+        try:
+            position = ways.index(line)
+        except ValueError:
+            l1i.stats.misses += 1
+            miss_latency = self._miss_path_latency(line, cycle)
+            stall = l1i.start_miss(line, cycle, miss_latency)
+            return latency + miss_latency + stall
+        if position:
+            ways.insert(0, ways.pop(position))
+        l1i.stats.hits += 1
+        return latency

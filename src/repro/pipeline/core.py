@@ -39,7 +39,7 @@ from heapq import heappop, heappush
 
 from repro.backend.fu import IssuePorts
 from repro.backend.iq import IssueQueue
-from repro.backend.lsq import LoadStoreQueues
+from repro.backend.lsq import WORD_SHIFT, LoadStoreQueues
 from repro.backend.rob import ReorderBuffer
 from repro.backend.store_sets import StoreSets
 from repro.common.history import GlobalHistory, PathHistory
@@ -61,6 +61,7 @@ from repro.rename.isrb import Isrb
 from repro.rename.map_table import RenameMap
 from repro.rename.move_elim import MoveEliminator
 from repro.rename.zero_idiom import ZeroIdiomEliminator
+from repro.workloads.columnar import KIND_BRANCH, ColumnarTrace
 from repro.workloads.trace import Trace
 
 _INF = 1 << 60
@@ -78,6 +79,15 @@ class PipelineError(RuntimeError):
 class InflightOp:
     """Timing and rename state of one in-flight dynamic instruction."""
 
+    # Dispatch-creation cost was re-examined for PR 4 (DESIGN.md §9):
+    # prototype-clone (__dict__ copy), class-default fallback and a
+    # hybrid (hot slots + cold class defaults) were all measured slower
+    # than flat __slots__ with an explicit __init__ on CPython 3.11 —
+    # slot access specialisation outweighs the creation-time writes,
+    # and dict-backed variants regress the rsep configs outright.  The
+    # creation path is instead inlined into columnar fetch (no
+    # call/frame overhead), which is what "slim dispatch" ended up
+    # meaning; edit both together.
     __slots__ = (
         "d", "trace_index", "rename_ready_cycle",
         "src_preg1", "src_preg2", "dest_preg", "old_preg",
@@ -145,12 +155,18 @@ class Pipeline:
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Trace | ColumnarTrace,
         config: CoreConfig | None = None,
         mechanisms: MechanismConfig | None = None,
         seed: int = 1,
     ) -> None:
         self.trace = trace
+        if isinstance(trace, ColumnarTrace):
+            # Columnar trace plane (DESIGN.md §9): fetch reads the packed
+            # columns directly; rows materialise lazily per fetched
+            # index.  Bound as an instance attribute so the per-cycle
+            # dispatch costs nothing.
+            self._fetch = self._fetch_columnar
         self.config = config or CoreConfig()
         self.mechanisms = mechanisms or MechanismConfig.baseline()
         c = self.config
@@ -735,8 +751,8 @@ class Pipeline:
         validation_ideal = validation_queue.mode is ValidationMode.IDEAL
         reg_ready = self._reg_ready
         preg_waiters = self._preg_waiters
-        schedule = self._schedule_op
         issued: list[InflightOp] | None = None
+        to_wake: list[InflightOp] | None = None
         violation_load = None
         violating_store = None
         for op in ready:
@@ -778,15 +794,20 @@ class Pipeline:
                 reg_ready[dest] = complete
                 waiters = preg_waiters.pop(dest, None)
                 if waiters is not None:
-                    for waiter in waiters:
-                        if not (waiter.issued or waiter.squashed):
-                            schedule(waiter, cycle)
+                    # Wakeup re-insertions are batched: waiters collect
+                    # here and re-park in one flat pass after the issue
+                    # loop (the popped list seeds the batch).
+                    if to_wake is None:
+                        to_wake = waiters
+                    else:
+                        to_wake.extend(waiters)
             waiters = op.waiters
             if waiters is not None:
                 op.waiters = None
-                for waiter in waiters:
-                    if not (waiter.issued or waiter.squashed):
-                        schedule(waiter, cycle)
+                if to_wake is None:
+                    to_wake = waiters
+                else:
+                    to_wake.extend(waiters)
             if issued is None:
                 issued = [op]
             else:
@@ -798,11 +819,87 @@ class Pipeline:
                     violating_store = op
                     break
 
+        if to_wake is not None:
+            # Batched _schedule_op re-insertion, one flat pass per
+            # completion cycle: every deferred call's body runs here with
+            # all scheduler structures in locals and no per-waiter call.
+            # Deferral past the issue loop is behaviour-preserving:
+            # reg_ready entries written this cycle are final before the
+            # pass runs, wakeup buckets are seq-sorted when drained, and
+            # a waiter parks in exactly one place either way (the golden
+            # and equivalence suites pin this bit-identical).
+            wakeup = self._wakeup
+            wakeup_heap = self._wakeup_heap
+            ready_append = ready.append
+            for waiter in to_wake:
+                if waiter.issued or waiter.squashed:
+                    continue
+                wake = 0
+                preg = waiter.src_preg1
+                if preg >= 0:
+                    t = reg_ready[preg]
+                    if t > wake:
+                        if t >= _INF:
+                            parked = preg_waiters.get(preg)
+                            if parked is None:
+                                preg_waiters[preg] = [waiter]
+                            else:
+                                parked.append(waiter)
+                            continue
+                        wake = t
+                preg = waiter.src_preg2
+                if preg >= 0:
+                    t = reg_ready[preg]
+                    if t > wake:
+                        if t >= _INF:
+                            parked = preg_waiters.get(preg)
+                            if parked is None:
+                                preg_waiters[preg] = [waiter]
+                            else:
+                                parked.append(waiter)
+                            continue
+                        wake = t
+                if (
+                    waiter.dist_used or waiter.likely_candidate
+                ) and waiter.producer is not None:
+                    producer = waiter.producer
+                    t = producer.complete_cycle
+                    if t is None:
+                        if producer.waiters is None:
+                            producer.waiters = [waiter]
+                        else:
+                            producer.waiters.append(waiter)
+                        continue
+                    if t > wake:
+                        wake = t
+                if wake <= cycle:
+                    ready_append(waiter)
+                else:
+                    bucket = wakeup.get(wake)
+                    if bucket is None:
+                        wakeup[wake] = [waiter]
+                        heappush(wakeup_heap, wake)
+                    else:
+                        bucket.append(waiter)
+
         if issued is not None:
             self._ready = [op for op in ready if not op.issued]
-            self.iq.remove_issued(
-                [op for op in issued if not op.retained]
-            )
+            # Inlined iq.remove_issued over the issued list (retained
+            # ops keep their entry until their validation µ-op issues).
+            iq = self.iq
+            entries = iq._entries
+            live = iq._live
+            for op in issued:
+                if op.retained:
+                    continue
+                index = op.iq_index
+                if index >= 0 and entries[index] is op:
+                    entries[index] = None
+                    op.iq_index = -1
+                    live -= 1
+            iq._live = live
+            if len(entries) > 2 * live + 16:
+                iq._compact()
 
         if violation_load is not None:
             self.store_sets.train_violation(
@@ -885,9 +982,14 @@ class Pipeline:
         sq_capacity = lsq.sq_capacity
         free_int_pool = free_list._free_int
         free_fp_pool = free_list._free_fp
+        free_allocated = free_list._allocated
         pw_append = producer_window._window.append
-        lq_len = len(lsq._loads)
-        sq_len = len(lsq._stores)
+        lsq_loads = lsq._loads
+        lsq_stores = lsq._stores
+        loads_by_word = lsq._loads_by_word
+        stores_by_word = lsq._stores_by_word
+        lq_len = len(lsq_loads)
+        sq_len = len(lsq_stores)
         zero_idiom_elimination = c.zero_idiom_elimination
         move_elim = m.move_elim
         zero_preg = self.zero_preg
@@ -997,7 +1099,12 @@ class Pipeline:
                         vp.stats.used += 1
 
                 if dest_preg == NO_REG:
-                    dest_preg = free_list.allocate(dest_class)
+                    # Inlined free_list.allocate (pool non-emptiness was
+                    # established by the stall guard above).
+                    dest_preg = (
+                        free_fp_pool if d.dest >= FP_BASE else free_int_pool
+                    ).pop()
+                    free_allocated[dest_preg] = True
                     op.allocated = True
                     reg_ready[dest_preg] = (
                         cycle if op.vp_used else _INF
@@ -1070,13 +1177,27 @@ class Pipeline:
                                 else:
                                     bucket.append(op)
             if d.is_load:
-                lsq.add_load(op)
+                # Inlined lsq.add_load (LQ capacity was checked above).
+                lsq_loads.append(op)
+                word = d.addr >> WORD_SHIFT
+                bucket = loads_by_word.get(word)
+                if bucket is None:
+                    loads_by_word[word] = [op]
+                else:
+                    bucket.append(op)
                 lq_len += 1
                 dep = store_sets.load_dependency(d.pc)
                 if dep is not None and not dep.committed and not dep.squashed:
                     op.store_dep = dep
             elif d.is_store:
-                lsq.add_store(op)
+                # Inlined lsq.add_store (SQ capacity was checked above).
+                lsq_stores.append(op)
+                word = d.addr >> WORD_SHIFT
+                bucket = stores_by_word.get(word)
+                if bucket is None:
+                    stores_by_word[word] = [op]
+                else:
+                    bucket.append(op)
                 sq_len += 1
                 store_sets.store_dispatched(d.pc, op)
             if produces:
@@ -1179,6 +1300,132 @@ class Pipeline:
             buffered += 1
             self._cursor += 1
             fetched += 1
+
+    def _fetch_columnar(self, cycle: int) -> None:
+        """Fetch straight from the packed trace columns (DESIGN.md §9).
+
+        Mirrors :meth:`_fetch` decision for decision — same line checks,
+        same branch handling, same stall exits — but the per-instruction
+        reads come from the flat columns (``lines``/``pcs``/``kinds``)
+        and the ``DynInst`` row is materialised lazily, only for indices
+        that actually enter the pipeline (cached across squash refetches
+        and across every later cell replaying this trace).  The
+        equivalence suite pins this path bit-identical to the legacy
+        one.
+        """
+        c = self.config
+        if self._fetch_stalled_by is not None:
+            blocked_on = self._fetch_stalled_by
+            if blocked_on.complete_cycle is None:
+                return  # mispredicted branch not resolved yet
+            self._next_fetch_cycle = max(
+                self._next_fetch_cycle,
+                blocked_on.complete_cycle + c.redirect_delay,
+            )
+            self._fetch_stalled_by = None
+        if cycle < self._next_fetch_cycle:
+            return
+
+        trace = self.trace
+        num_instructions = trace.n
+        lines = trace.lines
+        pcs = trace.pcs
+        kinds = trace.kinds
+        rows = trace.rows
+        row = trace.row
+        fetch_buffer = self._fetch_buffer
+        append = fetch_buffer.append
+        hierarchy_fetch = self.hierarchy.fetch
+        fetch_branch = self.branch_unit.fetch_branch
+        fetch_width = c.fetch_width
+        fetch_buffer_size = c.fetch_buffer_size
+        rename_ready = cycle + c.frontend_depth
+        fetched = 0
+        taken_seen = 0
+        buffered = len(fetch_buffer)
+        cursor = self._cursor
+        last_line = self._last_fetch_line
+        inflight = InflightOp
+        new_op = InflightOp.__new__
+        no_reg = NO_REG
+        while (
+            fetched < fetch_width
+            and buffered < fetch_buffer_size
+            and cursor < num_instructions
+        ):
+            line = lines[cursor]
+            if line != last_line:
+                bubble = hierarchy_fetch(pcs[cursor], cycle)
+                if bubble > 0:
+                    self._next_fetch_cycle = cycle + bubble
+                    break
+                last_line = line
+            d = rows[cursor]
+            if d is None:
+                d = row(cursor)
+            # Inlined InflightOp.__init__, seeded from the columnar row:
+            # same stores, no call/frame per fetched instruction (edit
+            # together with the constructor).
+            op = new_op(inflight)
+            op.d = d
+            op.trace_index = cursor
+            op.rename_ready_cycle = rename_ready
+            op.src_preg1 = no_reg
+            op.src_preg2 = no_reg
+            op.dest_preg = no_reg
+            op.old_preg = no_reg
+            op.allocated = False
+            op.shared = False
+            op.eliminated = None
+            op.zero_pred = None
+            op.zero_pred_used = False
+            op.dist_pred = None
+            op.dist_used = False
+            op.likely_candidate = False
+            op.producer = None
+            op.equality_ok = False
+            op.vp_pred = None
+            op.vp_used = False
+            op.vp_ok = False
+            op.fetch_outcome = None
+            op.issued = False
+            op.complete_cycle = None
+            op.executed = False
+            op.validation_done_cycle = None
+            op.retained = False
+            op.store_dep = None
+            op.forward_from = None
+            op.committed = False
+            op.squashed = False
+            op.waiters = None
+            op.iq_index = -1
+            if kinds[cursor] & KIND_BRANCH:
+                outcome = fetch_branch(d)
+                op.fetch_outcome = outcome
+                append(op)
+                buffered += 1
+                cursor += 1
+                fetched += 1
+                if outcome.mispredicted:
+                    self._fetch_stalled_by = op
+                    break
+                if outcome.decode_redirect:
+                    self._next_fetch_cycle = (
+                        cycle + c.decode_redirect_bubble
+                    )
+                    break
+                if d.taken:
+                    taken_seen += 1
+                    last_line = -1  # fetch redirects to target
+                    if taken_seen >= 2:
+                        break  # 8-wide fetch over at most 1 taken branch
+                continue
+            append(op)
+            buffered += 1
+            cursor += 1
+            fetched += 1
+        self._cursor = cursor
+        self._last_fetch_line = last_line
 
     # ==================================================================
     # Squash

@@ -22,6 +22,11 @@ from repro.sampling import (
     restore_checkpoint,
 )
 from repro.sampling.checkpoint import CHECKPOINT_FORMAT
+from repro.workloads.columnar import (
+    ColumnarTrace,
+    columnar_enabled,
+    pack_trace,
+)
 from repro.workloads.spec2006 import build_benchmark
 from repro.workloads.store import TraceStore, workload_code_version
 from repro.workloads.trace import Trace, execute
@@ -80,11 +85,11 @@ class Simulator:
         # The workload-code version is part of the key so editing e.g.
         # workloads/kernels.py mid-process can never serve a stale trace.
         self._trace_cache: dict[
-            tuple[str, int, str], tuple[Trace, int]
+            tuple[str, int, str], tuple[Trace | ColumnarTrace, int]
         ] = {}
 
     def trace_for(self, benchmark: str, seed: int,
-                  instructions: int) -> Trace:
+                  instructions: int) -> Trace | ColumnarTrace:
         """Build (and cache) the functional trace for one checkpoint.
 
         The interpreter is deterministic, so a trace built for N
@@ -95,7 +100,11 @@ class Simulator:
         is the complete execution and covers any request.
 
         Lookup order: in-memory cache, then the on-disk store, then
-        interpretation (which also populates the store).
+        interpretation (which also populates the store).  In columnar
+        mode (``REPRO_COLUMNAR``, default on — DESIGN.md §9) the cached
+        value is a :class:`ColumnarTrace`: cold interpretation packs the
+        fresh trace once and both the store write and the runtime view
+        share that payload.
         """
         version = workload_code_version()
         key = (benchmark, seed, version)
@@ -112,9 +121,20 @@ class Simulator:
                 return stored[0]
         built = build_benchmark(benchmark, seed)
         trace = execute(built.program, instructions, built.machine())
-        self._trace_cache[key] = (trace, instructions)
-        if store is not None:
+        if columnar_enabled():
+            payload = pack_trace(trace, instructions)
+            columnar = ColumnarTrace.from_payload(payload)
+            # Seed the row cache with the freshly interpreted objects:
+            # they are field-identical to decoded rows (pinned by the
+            # codec property suite), so the first cold run never
+            # re-materialises what the interpreter just built.
+            columnar.rows[:] = trace.instructions
+            trace = columnar
+            if store is not None:
+                store.save_payload(payload, benchmark, seed, version)
+        elif store is not None:
             store.save(trace, benchmark, seed, instructions, version)
+        self._trace_cache[key] = (trace, instructions)
         return trace
 
     def run_benchmark(

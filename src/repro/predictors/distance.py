@@ -172,7 +172,8 @@ class DistancePredictor:
         path_bits = indexer._path_bits
         n = len(components)
         env = {
-            "DistancePrediction": DistancePrediction,
+            "_P": DistancePrediction,
+            "_new": DistancePrediction.__new__,
             "_path": indexer.path,
             "_self": self,
             "_bdist": self._base_distance,
@@ -214,9 +215,19 @@ class DistancePredictor:
             " and distance != 0",
             "    if use_pred:",
             "        _self.confident_predictions += 1",
-            "    return DistancePrediction(pc, distance, use_pred, likely,"
-            f" provider, ({index_list},), ({tag_list},),"
-            " base_index, confidence)",
+            # Prediction construction with the dataclass __init__ call
+            # flattened away (slot stores in place; one per field).
+            "    p = _new(_P)",
+            "    p.pc = pc",
+            "    p.distance = distance",
+            "    p.use_pred = use_pred",
+            "    p.likely_candidate = likely",
+            "    p.provider = provider",
+            f"    p.indices = ({index_list},)",
+            f"    p.tags = ({tag_list},)",
+            "    p.base_index = base_index",
+            "    p.confidence_level = confidence",
+            "    return p",
         ]
         exec("\n".join(lines), env)  # noqa: S102 - static template, no input
         return env["fast_predict"]

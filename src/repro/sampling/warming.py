@@ -34,6 +34,17 @@ from __future__ import annotations
 from repro.isa.instruction import NO_REG
 from repro.isa.program import INSTR_BYTES
 from repro.isa.registers import FP_BASE
+from repro.workloads.columnar import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_CONDITIONAL,
+    KIND_LOAD,
+    KIND_RETURN,
+    KIND_STORE,
+    MOVE,
+    TAKEN,
+    ColumnarTrace,
+)
 
 
 class _WarmOp:
@@ -47,6 +58,28 @@ class _WarmOp:
 
     def __init__(self, d) -> None:
         self.d = d
+        self.dist_pred = None
+        self.likely_candidate = False
+        self.producer = None
+
+
+class _ColumnarWarmOp:
+    """Column-fed :class:`_WarmOp`: no ``DynInst`` behind it.
+
+    ``observe_commit_group`` (and its generated hash fold) reads
+    ``op.d.result``; ring validation reads ``producer.d.dest`` /
+    ``producer.d.result``.  Pointing ``d`` at the op itself satisfies
+    both against the two scalars copied out of the columns, with one
+    allocation instead of two.
+    """
+
+    __slots__ = ("d", "dest", "result", "dist_pred", "likely_candidate",
+                 "producer")
+
+    def __init__(self, dest: int, result: int) -> None:
+        self.d = self
+        self.dest = dest
+        self.result = result
         self.dist_pred = None
         self.likely_candidate = False
         self.producer = None
@@ -117,8 +150,13 @@ class FunctionalWarmer:
 
         Returns ``(end_index, end_cycle)`` — the trace position where
         detailed simulation should resume and the advanced pseudo-clock.
+        Columnar traces take the column-indexed loop (no ``DynInst`` is
+        ever materialised for a warmed-only span); object traces keep
+        the original per-``DynInst`` loop as the oracle path.
         """
         p = self.pipeline
+        if isinstance(p.trace, ColumnarTrace):
+            return self._warm_columnar(start, count, cycle)
         trace = p.trace.instructions
         end = min(start + count, len(trace))
         if end <= start:
@@ -229,6 +267,170 @@ class FunctionalWarmer:
                         if (producer.d.dest >= fp_base) == (
                             d.dest >= fp_base
                         ) and producer.d.result != d.result:
+                            rsep_mispredict(prediction)
+                    elif prediction.likely_candidate:
+                        op.likely_candidate = True
+                        op.producer = producer
+            group.append(op)
+            ring.append(op)
+            if len(group) >= commit_width:
+                rsep_observe(group)
+                del group[:]
+                if len(ring) > _RING_TRIM:
+                    del ring[:-_RING_KEEP]
+
+        if rsep is not None:
+            if group:
+                rsep_observe(group)
+                del group[:]
+            if group_results:
+                self._observe_sampling(group_results, group_eligible)
+        return end, cycle
+
+    def _warm_columnar(self, start: int, count: int,
+                       cycle: int) -> tuple[int, int]:
+        """Column-indexed warming: :meth:`warm` over packed columns.
+
+        Replays exactly the structure updates of the object loop —
+        ``tests/test_columnar_equivalence.py`` pins sampled runs
+        bit-identical across both paths — while every per-instruction
+        read is a flat column index (``lines[i]``, ``kinds[i]`` bit
+        tests, …) instead of a ``DynInst`` attribute chain.
+        """
+        p = self.pipeline
+        trace = p.trace
+        end = min(start + count, trace.n)
+        if end <= start:
+            return start, cycle
+
+        lines = trace.lines
+        pcs = trace.pcs
+        kinds = trace.kinds
+        flags = trace.flags
+        dests = trace.dests
+        addrs = trace.addrs
+        results = trace.results
+        targets = trace.targets
+        eligibles = trace.eligibles
+
+        hierarchy = p.hierarchy
+        mem_load = hierarchy.load
+        mem_store = hierarchy.store
+        mem_fetch = hierarchy.fetch
+        branch_unit = p.branch_unit
+        tage_predict = branch_unit.tage.predict
+        tage_update = branch_unit.tage.update
+        btb_lookup = branch_unit.btb.lookup
+        btb_update = branch_unit.btb.update
+        ras = branch_unit.ras
+        history_push = p.history.push
+        path_push = p.path.push
+        zero_predictor = p.zero_predictor
+        vp = p.vp
+        if vp is not None:
+            vp_predict = vp.predictor.predict
+            vp_train = vp.predictor.train
+        rsep = p.rsep
+        if rsep is not None:
+            rsep_predict = rsep.predictor.predict
+            rsep_observe = rsep.observe_commit_group
+            rsep_mispredict = rsep.on_mispredict
+        rsep_sampling = self._rsep_sampling
+        group_results: list[int] = []
+        group_eligible: list[tuple[int, int]] = []
+        move_elim = self._move_elim
+        commit_width = p.config.commit_width
+        ring = self._ring
+        group = self._group
+        no_reg = NO_REG
+        fp_base = FP_BASE
+        kind_branch = KIND_BRANCH
+        kind_conditional = KIND_CONDITIONAL
+        kind_return = KIND_RETURN
+        kind_call = KIND_CALL
+        kind_load = KIND_LOAD
+        kind_store = KIND_STORE
+        flag_taken = TAKEN
+        flag_move = MOVE
+
+        last_line = -1
+        for index in range(start, end):
+            cycle += 1
+
+            # ---- front end: L1I/ITLB and branch structures ------------
+            pc = pcs[index]
+            line = lines[index]
+            kind = kinds[index]
+            if line != last_line:
+                mem_fetch(pc, cycle)
+                last_line = line
+            if kind & kind_branch:
+                taken = flags[index] & flag_taken != 0
+                if kind & kind_conditional:
+                    prediction = tage_predict(pc)
+                    if prediction.taken == taken and taken:
+                        btb_lookup(pc)
+                    history_push(1 if taken else 0)
+                    tage_update(prediction, taken)
+                elif kind & kind_return:
+                    ras.pop()
+                else:
+                    btb_lookup(pc)
+                    if kind & kind_call:
+                        ras.push(pc + INSTR_BYTES)
+                if taken:
+                    path_push(pc)
+                    target_pc = targets[index]
+                    if target_pc >= 0:
+                        btb_update(pc, target_pc)
+                    last_line = -1
+            # ---- data side: L1D/DTLB, prefetchers, DRAM ---------------
+            elif kind & kind_load:
+                mem_load(pc, addrs[index], cycle)
+            elif kind & kind_store:
+                mem_store(pc, addrs[index], cycle)
+
+            # ---- mechanism predictors (rename-side lookups) -----------
+            eligible = eligibles[index]
+            if eligible:
+                if zero_predictor is not None:
+                    zero_predictor.train(
+                        zero_predictor.predict(pc), results[index] == 0
+                    )
+                if vp is not None:
+                    vp_train(vp_predict(pc), results[index])
+
+            # ---- commit-side producer stream (RSEP pairing) -----------
+            dest = dests[index]
+            if rsep is None or dest == no_reg:
+                continue
+            is_move = flags[index] & flag_move != 0
+            if rsep_sampling:
+                # §IV.B.3 sampling: one pairing search (and one
+                # predictor lookup) per commit group is all the detailed
+                # commit path performs, so warming does the same.
+                if eligible and not (move_elim and is_move):
+                    group_eligible.append((len(group_results), pc))
+                group_results.append(results[index])
+                if len(group_results) >= commit_width:
+                    self._observe_sampling(group_results, group_eligible)
+                    del group_results[:]
+                    del group_eligible[:]
+                continue
+            op = _ColumnarWarmOp(dest, results[index])
+            if eligible and not (move_elim and is_move):
+                prediction = rsep_predict(pc)
+                op.dist_pred = prediction
+                distance = prediction.distance
+                if 0 < distance <= len(ring):
+                    producer = ring[-distance]
+                    if prediction.use_pred:
+                        # Emulate §IV.G commit-time validation: a shared
+                        # register whose producer's value differs would
+                        # squash and collapse confidence.
+                        if (producer.d.dest >= fp_base) == (
+                            dest >= fp_base
+                        ) and producer.d.result != results[index]:
                             rsep_mispredict(prediction)
                     elif prediction.likely_candidate:
                         op.likely_candidate = True

@@ -15,12 +15,15 @@ Three pieces:
   ``workloads/kernels.py`` (or the interpreter itself) can never serve a
   stale trace.  The hash is recomputed whenever a source file's
   stat signature changes, which keeps long-lived processes honest too.
-* :func:`pack_trace` / :func:`unpack_trace` — a compact flat-array codec
-  (parallel packed ``array`` columns instead of per-instruction Python
-  objects).  Packed traces pickle ~10× smaller than ``DynInst`` lists
-  and decode faster than re-interpretation, because decoding replays no
-  semantics: static per-opcode fields come from one table lookup and
-  ``DynInst`` construction bypasses ``__init__``.
+* the flat-array codec (:func:`pack_trace` / :func:`unpack_trace`,
+  re-exported from :mod:`repro.workloads.columnar` where it now lives).
+  Packed traces pickle ~10× smaller than ``DynInst`` lists, and since
+  PR 4 the packed columns are also the *runtime* representation: by
+  default :meth:`TraceStore.load` returns a
+  :class:`~repro.workloads.columnar.ColumnarTrace` view over the
+  payload without constructing a single ``DynInst`` — rows materialise
+  lazily, per fetched instruction (DESIGN.md §9).  ``REPRO_COLUMNAR=0``
+  restores the legacy eager decode as a differential-testing oracle.
 * :class:`TraceStore` — the on-disk cache.  One file per
   ``(benchmark, seed, version)``, atomically replaced on writes
   (temp file + ``os.replace``), with the instruction *budget* recorded in
@@ -41,21 +44,16 @@ import hashlib
 import os
 import pickle
 import tempfile
-from array import array
 from pathlib import Path
 
-from repro.isa.instruction import DynInst
-from repro.isa.opcodes import OP_INFO, Opcode
-from repro.isa.registers import XZR
+from repro.workloads.columnar import (  # noqa: F401  (codec re-exports)
+    FORMAT,
+    ColumnarTrace,
+    columnar_enabled,
+    pack_trace,
+    unpack_trace,
+)
 from repro.workloads.trace import Trace
-
-#: Bump when the packed layout changes; readers reject other versions.
-FORMAT = 1
-
-#: Flag bits of the packed per-instruction flag byte.
-_TAKEN = 1
-_ZERO_IDIOM = 2
-_MOVE = 4
 
 #: Modules whose source determines trace content.  Anything that touches
 #: program construction, initial data images or interpretation belongs
@@ -114,140 +112,6 @@ def workload_code_version() -> str:
 
 
 # ---------------------------------------------------------------------------
-# Flat-array codec
-# ---------------------------------------------------------------------------
-
-
-def pack_trace(trace: Trace, budget: int) -> dict:
-    """Serialise *trace* as parallel packed columns.
-
-    ``seq`` is implicit (0..n-1); static per-opcode properties (FU class,
-    latency, load/store/branch flags, …) are not stored — they are
-    re-derived from the opcode at decode time, exactly as the interpreter
-    derives them at build time.
-    """
-    n = len(trace)
-    pc = array("q", bytes(8 * n))
-    opcode = bytearray(n)
-    dest = array("b", bytes(n))
-    src1 = array("b", bytes(n))
-    src2 = array("b", bytes(n))
-    result = array("Q", bytes(8 * n))
-    addr = array("q", bytes(8 * n))
-    target_pc = array("q", bytes(8 * n))
-    flags = bytearray(n)
-    for index, d in enumerate(trace.instructions):
-        pc[index] = d.pc
-        opcode[index] = d.opcode
-        dest[index] = d.dest
-        src1[index] = d.src1
-        src2[index] = d.src2
-        result[index] = d.result
-        addr[index] = d.addr
-        target_pc[index] = d.target_pc
-        flags[index] = (
-            (_TAKEN if d.taken else 0)
-            | (_ZERO_IDIOM if d.zero_idiom else 0)
-            | (_MOVE if d.move else 0)
-        )
-    return {
-        "format": FORMAT,
-        "name": trace.name,
-        "budget": budget,
-        "n": n,
-        "pc": pc,
-        "opcode": bytes(opcode),
-        "dest": dest,
-        "src1": src1,
-        "src2": src2,
-        "result": result,
-        "addr": addr,
-        "target_pc": target_pc,
-        "flags": bytes(flags),
-    }
-
-
-def _opcode_statics() -> list[tuple]:
-    """Per-opcode constants a decoded ``DynInst`` carries."""
-    statics = []
-    for opcode in Opcode:
-        info = OP_INFO[opcode]
-        statics.append((
-            opcode, info.fu_class, info.latency, info.pipelined,
-            info.is_load, info.is_store, info.is_branch,
-            info.is_conditional, info.is_call, info.is_return,
-        ))
-    return statics
-
-
-_OPCODE_STATICS = _opcode_statics()
-
-
-def unpack_trace(payload: dict) -> tuple[Trace, int]:
-    """Decode a packed payload into ``(trace, budget)``.
-
-    Reconstruction bypasses ``DynInst.__init__``: all derived fields
-    (``line``, ``eligible``, the static opcode properties) are assigned
-    from precomputed tables, which makes a warm store load cheaper than
-    re-running the interpreter.
-    """
-    if payload.get("format") != FORMAT:
-        raise ValueError(f"unsupported trace format {payload.get('format')}")
-    from repro.common.bitops import LINE_SHIFT
-
-    n = payload["n"]
-    pcs = payload["pc"]
-    opcodes = payload["opcode"]
-    dests = payload["dest"]
-    src1s = payload["src1"]
-    src2s = payload["src2"]
-    results = payload["result"]
-    addrs = payload["addr"]
-    targets = payload["target_pc"]
-    flags = payload["flags"]
-    if not (
-        len(pcs) == len(opcodes) == len(dests) == len(src1s) == len(src2s)
-        == len(results) == len(addrs) == len(targets) == len(flags) == n
-    ):
-        raise ValueError("trace payload columns disagree on length")
-
-    statics = _OPCODE_STATICS
-    new = DynInst.__new__
-    cls = DynInst
-    instructions = []
-    append = instructions.append
-    for seq in range(n):
-        d = new(cls)
-        pc = pcs[seq]
-        dest = dests[seq]
-        flag = flags[seq]
-        zero_idiom = flag & _ZERO_IDIOM != 0
-        (
-            d.opcode, d.fu, d.latency, d.pipelined,
-            d.is_load, d.is_store, is_branch,
-            d.is_conditional, d.is_call, d.is_return,
-        ) = statics[opcodes[seq]]
-        d.is_branch = is_branch
-        d.seq = seq
-        d.pc = pc
-        d.dest = dest
-        d.src1 = src1s[seq]
-        d.src2 = src2s[seq]
-        d.result = results[seq]
-        d.addr = addrs[seq]
-        d.taken = flag & _TAKEN != 0
-        d.target_pc = targets[seq]
-        d.zero_idiom = zero_idiom
-        d.move = flag & _MOVE != 0
-        d.line = pc >> LINE_SHIFT
-        d.eligible = (
-            dest != -1 and dest != XZR and not is_branch and not zero_idiom
-        )
-        append(d)
-    return Trace(payload["name"], instructions), payload["budget"]
-
-
-# ---------------------------------------------------------------------------
 # On-disk store
 # ---------------------------------------------------------------------------
 
@@ -301,7 +165,7 @@ class TraceStore:
 
     def load(
         self, benchmark: str, seed: int, instructions: int, version: str
-    ) -> tuple[Trace, int] | None:
+    ) -> "tuple[Trace | ColumnarTrace, int] | None":
         """Return ``(trace, budget)`` if a stored trace covers the request.
 
         A trace covers a request for N instructions when it was built with
@@ -309,12 +173,25 @@ class TraceStore:
         complete execution covers everything).  Anything unreadable —
         missing, truncated, corrupt, wrong format — is a miss; the caller
         re-interprets and :meth:`save` overwrites the bad file.
+
+        By default the result is a :class:`ColumnarTrace` view over the
+        packed payload — zero per-instruction decode work at load; rows
+        materialise lazily as the pipeline fetches them.  With
+        ``REPRO_COLUMNAR=0`` the legacy eager-``DynInst`` decode runs
+        instead (the differential-testing oracle).  Both constructors
+        validate the payload, so corruption is a miss on either path.
         """
         path = self.path_for(benchmark, seed, version)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            trace, budget = unpack_trace(payload)
+            if columnar_enabled():
+                trace = ColumnarTrace.from_payload(payload)
+                budget = payload["budget"]
+                if not isinstance(budget, int):
+                    raise ValueError("trace payload budget is not an int")
+            else:
+                trace, budget = unpack_trace(payload)
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -329,10 +206,18 @@ class TraceStore:
         return None
 
     def save(
-        self, trace: Trace, benchmark: str, seed: int, budget: int,
-        version: str,
+        self, trace: "Trace | ColumnarTrace", benchmark: str, seed: int,
+        budget: int, version: str,
     ) -> Path | None:
-        """Persist *trace* atomically; best-effort (failures are ignored).
+        """Persist *trace* atomically; best-effort (failures are ignored)."""
+        return self.save_payload(
+            pack_trace(trace, budget), benchmark, seed, version
+        )
+
+    def save_payload(
+        self, payload: dict, benchmark: str, seed: int, version: str,
+    ) -> Path | None:
+        """Persist an already-packed payload (see :meth:`save`).
 
         The temp-file + ``os.replace`` dance guarantees readers never see
         a partial write, and concurrent writers (parallel sweep workers
@@ -340,7 +225,6 @@ class TraceStore:
         identical bytes.
         """
         path = self.path_for(benchmark, seed, version)
-        payload = pack_trace(trace, budget)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, temp_name = tempfile.mkstemp(

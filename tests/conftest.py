@@ -9,3 +9,4 @@ explicitly in ``tests/test_trace_store.py`` with private store roots.
 import os
 
 os.environ["REPRO_TRACE_STORE"] = "off"
+

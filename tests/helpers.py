@@ -1,0 +1,16 @@
+"""Shared helpers for the test suites (no fixtures, plain imports)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def stats_dict(stats) -> dict:
+    """Stats as a plain dict (without the free-form extras).
+
+    The canonical bit-for-bit comparison form used by the golden,
+    equivalence, store, sampling and sweep suites alike.
+    """
+    data = dataclasses.asdict(stats)
+    data.pop("extra")
+    return data

@@ -1,0 +1,189 @@
+"""Differential equivalence: columnar runtime vs the eager-DynInst oracle.
+
+``REPRO_COLUMNAR=0`` keeps the legacy trace plane — eager ``DynInst``
+decode on store load, object-walking fetch and warming loops — alive as
+a live oracle.  Every test here runs the same cell through both planes
+and asserts *bit-identical* statistics, so any drift in the columnar
+fetch loop, the lazy row materialiser, the column-indexed warmer or the
+codec itself fails immediately.
+
+The cells mirror ``tests/test_determinism.py``'s golden set (every
+golden mechanism config), extend over all validation modes, and cover
+sampled mode (functional warming + drains) plus the on-disk store round
+trip in both planes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import ValidationMode
+from repro.pipeline.config import MechanismConfig
+from repro.pipeline.simulator import Simulator
+from repro.sampling import SamplingConfig
+from repro.workloads.columnar import ColumnarTrace
+from repro.workloads.store import TraceStore
+from repro.workloads.trace import Trace
+
+
+from helpers import stats_dict  # noqa: E402  (shared test helper)
+
+
+#: The golden set of tests/test_determinism.py: every mechanism config
+#: pinned there, with the same windows.
+GOLDEN_CELLS = [
+    ("mcf", MechanismConfig.baseline, 1000, 4000),
+    ("mcf", MechanismConfig.rsep_realistic, 1000, 4000),
+    ("libquantum", MechanismConfig.rsep_plus_vp, 0, 8000),
+]
+
+
+def run_cell(
+    monkeypatch,
+    columnar: bool,
+    benchmark: str,
+    mechanism: MechanismConfig,
+    warmup: int,
+    measure: int,
+    store_root=None,
+    sampling: SamplingConfig | None = None,
+) -> dict:
+    """One (benchmark, mechanism) cell under the requested trace plane."""
+    monkeypatch.setenv("REPRO_COLUMNAR", "1" if columnar else "0")
+    store = TraceStore(store_root) if store_root is not None else None
+    simulator = Simulator(trace_store=store)
+    result = simulator.run_benchmark(
+        benchmark, mechanism, warmup=warmup, measure=measure, seed=1,
+        sampling=sampling,
+    )
+    return stats_dict(result.stats)
+
+
+class TestTracePlaneSelection:
+    def test_default_is_columnar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR", raising=False)
+        trace = Simulator(trace_store=None).trace_for("mcf", 1, 500)
+        assert isinstance(trace, ColumnarTrace)
+
+    def test_escape_hatch_restores_dyninst_trace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        trace = Simulator(trace_store=None).trace_for("mcf", 1, 500)
+        assert isinstance(trace, Trace)
+
+    def test_planes_share_one_store_artifact(self, monkeypatch, tmp_path):
+        # One file on disk serves both planes: the payload is the wire
+        # format either way, only the in-memory view differs.
+        monkeypatch.setenv("REPRO_COLUMNAR", "1")
+        Simulator(trace_store=TraceStore(tmp_path)).trace_for("mcf", 1, 800)
+        assert len(list(tmp_path.glob("*.trace"))) == 1
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        legacy = Simulator(trace_store=TraceStore(tmp_path))
+        trace = legacy.trace_for("mcf", 1, 800)
+        assert legacy.trace_store.hits == 1
+        assert isinstance(trace, Trace)
+
+
+class TestGoldenCellEquivalence:
+    @pytest.mark.parametrize(
+        "bench,mechanism,warmup,measure", GOLDEN_CELLS,
+        ids=lambda value: getattr(value, "__name__", str(value)),
+    )
+    def test_columnar_equals_dyninst(
+        self, monkeypatch, bench, mechanism, warmup, measure
+    ):
+        columnar = run_cell(
+            monkeypatch, True, bench, mechanism(), warmup, measure
+        )
+        legacy = run_cell(
+            monkeypatch, False, bench, mechanism(), warmup, measure
+        )
+        assert columnar == legacy
+
+    def test_store_round_trip_equivalence(self, monkeypatch, tmp_path):
+        # Interpret + persist once (columnar), then load the same
+        # artifact through both planes: all three runs bit-identical.
+        mechanism = MechanismConfig.rsep_realistic()
+        cold = run_cell(
+            monkeypatch, True, "mcf", mechanism, 1000, 4000,
+            store_root=tmp_path,
+        )
+        warm_columnar = run_cell(
+            monkeypatch, True, "mcf", mechanism, 1000, 4000,
+            store_root=tmp_path,
+        )
+        warm_legacy = run_cell(
+            monkeypatch, False, "mcf", mechanism, 1000, 4000,
+            store_root=tmp_path,
+        )
+        assert cold == warm_columnar == warm_legacy
+
+
+class TestValidationModeEquivalence:
+    """All validation modes through both planes (queue traffic, squash
+    drain and §IV.F retention all ride on trace-plane-fed state)."""
+
+    def _variants(self):
+        yield MechanismConfig.rsep_validation(ValidationMode.IDEAL)
+        yield MechanismConfig.rsep_validation(ValidationMode.REISSUE_LOCK_FU)
+        yield MechanismConfig.rsep_validation(ValidationMode.REISSUE_ANY_FU)
+        yield MechanismConfig.rsep_validation(
+            ValidationMode.REISSUE_ANY_FU, sampling=True,
+            start_train_threshold=15,
+        )
+
+    def test_all_modes_match(self, monkeypatch):
+        for mechanism in self._variants():
+            columnar = run_cell(
+                monkeypatch, True, "hmmer", mechanism, 500, 3000
+            )
+            legacy = run_cell(
+                monkeypatch, False, "hmmer", mechanism, 500, 3000
+            )
+            assert columnar == legacy, mechanism.name
+
+
+class TestSampledEquivalence:
+    """Sampled mode exercises the column-indexed warmer, drains and
+    ``skip_to`` — the paths a plain full-detail run never touches."""
+
+    SAMPLING = SamplingConfig(
+        enabled=True, interval=1000, detail_ratio=0.25, detail_warmup=128,
+    )
+
+    @pytest.mark.parametrize("mechanism_factory", [
+        MechanismConfig.baseline,
+        MechanismConfig.rsep_realistic,
+        MechanismConfig.rsep_plus_vp,
+    ], ids=lambda factory: factory.__name__)
+    def test_sampled_columnar_equals_dyninst(
+        self, monkeypatch, mechanism_factory
+    ):
+        kwargs = dict(warmup=1500, measure=6000, sampling=self.SAMPLING)
+        columnar = run_cell(
+            monkeypatch, True, "xalancbmk", mechanism_factory(), **kwargs
+        )
+        legacy = run_cell(
+            monkeypatch, False, "xalancbmk", mechanism_factory(), **kwargs
+        )
+        assert columnar["warmed"] > 0  # the warmer really ran
+        assert columnar == legacy
+
+    def test_checkpoint_crosses_planes(self, monkeypatch, tmp_path):
+        # A µarch checkpoint captured under the columnar plane restores
+        # bit-identically under the legacy plane (and vice versa): the
+        # warmed state is a pure function of the trace *content*.
+        mechanism = MechanismConfig.rsep_realistic()
+        kwargs = dict(warmup=1500, measure=4000, sampling=self.SAMPLING)
+        cold = run_cell(
+            monkeypatch, True, "mcf", mechanism, store_root=tmp_path,
+            **kwargs,
+        )
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        restored_store = TraceStore(tmp_path)
+        restored = Simulator(trace_store=restored_store).run_benchmark(
+            "mcf", mechanism, seed=1, **kwargs
+        )
+        assert restored_store.checkpoint_hits == 1
+        # A genuine restore: no fallback re-warm rewrote the artifact.
+        assert restored_store.checkpoint_writes == 0
+        assert stats_dict(restored.stats) == cold

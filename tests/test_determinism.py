@@ -14,8 +14,6 @@ code-generated predictor paths against their generic references.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.common.history import GlobalHistory, PathHistory
 from repro.common.rng import XorShift64
 from repro.harness.runner import ExperimentRunner
@@ -24,11 +22,7 @@ from repro.pipeline.simulator import Simulator
 from repro.predictors.distance import DistancePredictor, DistancePredictorConfig
 
 
-def stats_dict(stats) -> dict:
-    """Stats as a plain dict (without the free-form extras)."""
-    data = dataclasses.asdict(stats)
-    data.pop("extra")
-    return data
+from helpers import stats_dict  # noqa: E402  (shared test helper)
 
 
 # Captured from the pre-refactor (seed) scheduler: mcf, seed 1,

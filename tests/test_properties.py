@@ -173,3 +173,255 @@ class TestRngProperties:
         rng = XorShift64(1234)
         for _ in range(20):
             assert 0 <= rng.next_below(bound) < bound
+
+
+# ---------------------------------------------------------------------------
+# Packed-codec / columnar-trace properties
+# ---------------------------------------------------------------------------
+
+import pickle
+
+import pytest
+
+from repro.isa.instruction import DynInst, NO_ADDR, NO_REG
+from repro.isa.opcodes import Opcode, OP_INFO
+from repro.isa.registers import NUM_ARCH_REGS, XZR
+from repro.workloads.columnar import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_CONDITIONAL,
+    KIND_LOAD,
+    KIND_RETURN,
+    KIND_STORE,
+    ColumnarTrace,
+    pack_trace,
+    unpack_trace,
+)
+from repro.workloads.trace import Trace
+
+#: Every field a decoded DynInst carries (static + dynamic + derived).
+DYN_FIELDS = [
+    "seq", "pc", "opcode", "fu", "latency", "pipelined", "dest", "src1",
+    "src2", "result", "addr", "is_load", "is_store", "is_branch",
+    "is_conditional", "is_call", "is_return", "taken", "target_pc",
+    "zero_idiom", "move", "line", "eligible",
+]
+
+_reg = st.integers(min_value=0, max_value=NUM_ARCH_REGS - 1)
+_opt_reg = st.one_of(st.just(NO_REG), _reg)
+_pc = st.integers(min_value=0, max_value=(1 << 20)).map(lambda w: w * 4)
+_addr = st.one_of(st.just(NO_ADDR), st.integers(0, (1 << 40) - 1))
+_target = st.one_of(st.just(-1), _pc)
+
+
+@st.composite
+def _dyn_fields(draw):
+    """Field tuple for one random dynamic instruction.
+
+    Deliberately wider than what the interpreter emits (any opcode may
+    carry any register/flag combination) so the codec round-trip is
+    pinned on raw field fidelity, not on interpreter invariants.
+    """
+    opcode = draw(st.sampled_from(list(Opcode)))
+    return (
+        opcode,
+        draw(_pc),
+        draw(_opt_reg),                 # dest (NO_REG / XZR included)
+        draw(_opt_reg),                 # src1
+        draw(_opt_reg),                 # src2
+        draw(u64),                      # result
+        draw(_addr),
+        draw(st.booleans()),            # taken
+        draw(_target),
+        draw(st.booleans()),            # zero_idiom
+        draw(st.booleans()),            # move
+    )
+
+
+def _build_trace(rows) -> Trace:
+    instructions = [
+        DynInst(
+            seq=seq, pc=pc, opcode=opcode, dest=dest, src1=src1, src2=src2,
+            result=result, addr=addr, taken=taken, target_pc=target_pc,
+            zero_idiom=zero_idiom, move=move,
+        )
+        for seq, (opcode, pc, dest, src1, src2, result, addr, taken,
+                  target_pc, zero_idiom, move) in enumerate(rows)
+    ]
+    return Trace("fuzz", instructions)
+
+
+def _assert_rows_equal(expected, actual):
+    for field_name in DYN_FIELDS:
+        assert getattr(actual, field_name) == getattr(
+            expected, field_name
+        ), (expected.seq, field_name)
+
+
+class TestCodecProperties:
+    @given(st.lists(_dyn_fields(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip_both_planes(self, rows):
+        trace = _build_trace(rows)
+        payload = pack_trace(trace, budget=len(trace))
+
+        decoded, budget = unpack_trace(payload)
+        assert budget == len(trace)
+        columnar = ColumnarTrace.from_payload(payload)
+        assert len(columnar) == len(trace) == len(decoded)
+        for index, original in enumerate(trace.instructions):
+            _assert_rows_equal(original, decoded[index])
+            _assert_rows_equal(original, columnar.row(index))
+
+    @given(st.lists(_dyn_fields(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_column_reads_equal_dyninst_decode(self, rows):
+        # Per-field *column* reads — what fetch and the warmer consume —
+        # must agree with the decoded object for every index.
+        trace = _build_trace(rows)
+        columnar = ColumnarTrace.from_payload(
+            pack_trace(trace, budget=len(trace))
+        )
+        for index, d in enumerate(trace.instructions):
+            assert columnar.pcs[index] == d.pc
+            assert columnar.lines[index] == d.line
+            assert columnar.dests[index] == d.dest
+            assert columnar.src1s[index] == d.src1
+            assert columnar.src2s[index] == d.src2
+            assert columnar.results[index] == d.result
+            assert columnar.addrs[index] == d.addr
+            assert columnar.targets[index] == d.target_pc
+            assert columnar.eligibles[index] == d.eligible
+            kind = columnar.kinds[index]
+            assert bool(kind & KIND_BRANCH) == d.is_branch
+            assert bool(kind & KIND_CONDITIONAL) == d.is_conditional
+            assert bool(kind & KIND_CALL) == d.is_call
+            assert bool(kind & KIND_RETURN) == d.is_return
+            assert bool(kind & KIND_LOAD) == d.is_load
+            assert bool(kind & KIND_STORE) == d.is_store
+        assert columnar.result_producers == trace.result_producers
+
+    @given(st.lists(_dyn_fields(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_repack_and_pickle_stability(self, rows):
+        # ColumnarTrace -> payload -> ColumnarTrace is lossless, and the
+        # payload survives pickling (the store's wire path) unchanged.
+        trace = _build_trace(rows)
+        first = ColumnarTrace.from_payload(pack_trace(trace, 7))
+        payload = pickle.loads(
+            pickle.dumps(first.to_payload(7),
+                         protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert payload["budget"] == 7
+        second = ColumnarTrace.from_payload(payload)
+        for index in range(len(trace)):
+            _assert_rows_equal(trace.instructions[index], second.row(index))
+
+    @given(st.lists(_dyn_fields(), min_size=2, max_size=20),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_column_is_rejected(self, rows, data):
+        trace = _build_trace(rows)
+        payload = pack_trace(trace, budget=len(trace))
+        column = data.draw(st.sampled_from([
+            "pc", "opcode", "dest", "src1", "src2", "result", "addr",
+            "target_pc", "flags",
+        ]))
+        payload[column] = payload[column][:-1]
+        with pytest.raises(ValueError):
+            ColumnarTrace.from_payload(payload)
+        with pytest.raises(ValueError):
+            unpack_trace(payload)
+
+    def test_unknown_opcode_is_rejected(self):
+        trace = _build_trace([(Opcode.ADD, 4, 1, 2, 3, 9, NO_ADDR, False,
+                               -1, False, False)])
+        payload = pack_trace(trace, budget=1)
+        payload["opcode"] = bytes([250])
+        with pytest.raises(ValueError):
+            ColumnarTrace.from_payload(payload)
+        with pytest.raises(ValueError):
+            unpack_trace(payload)
+
+
+class TestCodecEdgeCases:
+    """Directed cases the fuzz strategies only hit by chance."""
+
+    def _single(self, **kwargs) -> DynInst:
+        defaults = dict(seq=0, pc=64, opcode=Opcode.ADD, dest=1, src1=2,
+                        src2=3, result=5, addr=NO_ADDR)
+        defaults.update(kwargs)
+        return DynInst(**defaults)
+
+    def _round_trip(self, d: DynInst):
+        payload = pack_trace(Trace("edge", [d]), budget=1)
+        columnar = ColumnarTrace.from_payload(payload)
+        decoded, _ = unpack_trace(payload)
+        _assert_rows_equal(d, columnar.row(0))
+        _assert_rows_equal(d, decoded[0])
+        return columnar
+
+    def test_no_reg_no_addr_sentinels(self):
+        d = self._single(opcode=Opcode.NOP, dest=NO_REG, src1=NO_REG,
+                         src2=NO_REG, result=0, addr=NO_ADDR)
+        columnar = self._round_trip(d)
+        assert columnar.dests[0] == NO_REG
+        assert columnar.addrs[0] == NO_ADDR
+        assert not columnar.eligibles[0]
+
+    def test_xzr_dest_is_not_eligible(self):
+        d = self._single(dest=XZR)
+        columnar = self._round_trip(d)
+        assert not columnar.eligibles[0]
+        assert columnar.result_producers == 0
+
+    @pytest.mark.parametrize("opcode", [Opcode.DIV, Opcode.FDIV])
+    def test_non_pipelined_dividers(self, opcode):
+        d = self._single(opcode=opcode)
+        columnar = self._round_trip(d)
+        row = columnar.row(0)
+        assert row.pipelined is False
+        assert row.latency == OP_INFO[opcode].latency
+        assert columnar.kinds[0] & KIND_BRANCH == 0
+
+    @pytest.mark.parametrize("opcode,taken,flags", [
+        (Opcode.B, True, (False, False, False)),
+        (Opcode.BEQ, True, (True, False, False)),
+        (Opcode.BEQ, False, (True, False, False)),
+        (Opcode.BL, True, (False, True, False)),
+        (Opcode.RET, True, (False, False, True)),
+    ])
+    def test_branch_flag_combinations(self, opcode, taken, flags):
+        conditional, call, is_return = flags
+        d = self._single(
+            opcode=opcode, dest=NO_REG, taken=taken,
+            target_pc=256 if taken else -1,
+        )
+        columnar = self._round_trip(d)
+        kind = columnar.kinds[0]
+        assert kind & KIND_BRANCH
+        assert bool(kind & KIND_CONDITIONAL) == conditional
+        assert bool(kind & KIND_CALL) == call
+        assert bool(kind & KIND_RETURN) == is_return
+        row = columnar.row(0)
+        assert row.taken is taken
+        assert row.target_pc == (256 if taken else -1)
+        assert not columnar.eligibles[0]  # branches never share
+
+    def test_extreme_results_and_addresses(self):
+        d = self._single(result=(1 << 64) - 1, addr=(1 << 62) - 8,
+                         opcode=Opcode.LDR)
+        columnar = self._round_trip(d)
+        assert columnar.results[0] == (1 << 64) - 1
+        assert columnar.addrs[0] == (1 << 62) - 8
+        assert columnar.kinds[0] & KIND_LOAD
+
+    def test_interpreter_trace_round_trips(self):
+        # A real committed-path trace (every instruction class the
+        # benchmarks emit) through the full wire path.
+        from repro.workloads.spec2006 import generate_trace
+
+        trace = generate_trace("gcc", 2000, seed=3)
+        columnar = ColumnarTrace.from_payload(pack_trace(trace, 2000))
+        for index, d in enumerate(trace.instructions):
+            _assert_rows_equal(d, columnar.row(index))

@@ -39,10 +39,7 @@ from repro.sampling.controller import confidence_halfwidth
 from repro.workloads.store import TraceStore
 
 
-def stats_dict(stats) -> dict:
-    data = dataclasses.asdict(stats)
-    data.pop("extra")
-    return data
+from helpers import stats_dict  # noqa: E402  (shared test helper)
 
 
 #: Degenerate: full duty cycle — must be indistinguishable from detail.

@@ -15,10 +15,7 @@ from repro.pipeline.simulator import Simulator
 from repro.workloads.store import TraceStore
 
 
-def stats_dict(stats) -> dict:
-    data = dataclasses.asdict(stats)
-    data.pop("extra")
-    return data
+from helpers import stats_dict  # noqa: E402  (shared test helper)
 
 
 def _engine() -> SweepEngine:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import pickle
 
@@ -26,10 +25,7 @@ DYN_FIELDS = [
 ]
 
 
-def stats_dict(stats) -> dict:
-    data = dataclasses.asdict(stats)
-    data.pop("extra")
-    return data
+from helpers import stats_dict  # noqa: E402  (shared test helper)
 
 
 def assert_traces_identical(left, right):
@@ -218,3 +214,65 @@ class TestCorruptionRecovery:
         assert store.save(trace, "mcf", 1, 200, "v") is None
         simulator = Simulator(trace_store=TraceStore(blocked))
         assert len(simulator.trace_for("mcf", 1, 200)) == 200
+
+
+class TestCheckpointCorruptionRecovery:
+    """A bad .ckpt re-warms instead of crashing (mirror of the
+    corrupt-trace fallback above, for the µarch-checkpoint artifacts)."""
+
+    SAMPLING_KWARGS = dict(warmup=1500, measure=4000, seed=1)
+
+    def _sampling(self):
+        from repro.sampling import SamplingConfig
+
+        return SamplingConfig(
+            enabled=True, interval=1000, detail_ratio=0.25,
+            detail_warmup=128, checkpoints=True,
+        )
+
+    def _run(self, root):
+        from repro.pipeline.config import MechanismConfig
+
+        simulator = Simulator(trace_store=TraceStore(root))
+        result = simulator.run_benchmark(
+            "mcf", MechanismConfig.rsep_realistic(),
+            sampling=self._sampling(), **self.SAMPLING_KWARGS,
+        )
+        return simulator.trace_store, stats_dict(result.stats)
+
+    def _checkpoint_path(self, root):
+        files = list(root.glob("*.ckpt"))
+        assert len(files) == 1
+        return files[0]
+
+    @pytest.mark.parametrize(
+        "corruption", ["truncate", "garbage", "empty", "foreign_payload"]
+    )
+    def test_bad_checkpoint_rewarrms_and_is_rewritten(
+        self, tmp_path, corruption
+    ):
+        store, reference = self._run(tmp_path)
+        assert store.checkpoint_writes == 1
+        path = self._checkpoint_path(tmp_path)
+        data = path.read_bytes()
+        if corruption == "truncate":
+            path.write_bytes(data[: len(data) // 2])  # partial write
+        elif corruption == "garbage":
+            path.write_bytes(b"\x80\x05garbage" + data[:64])
+        elif corruption == "empty":
+            path.write_bytes(b"")
+        else:
+            # Unpickles fine but is not a checkpoint tree: exercises the
+            # restore_checkpoint fallback, not just the unpickling one.
+            path.write_bytes(pickle.dumps({"format": 999, "bogus": True}))
+
+        recovering, stats = self._run(tmp_path)
+        assert recovering.checkpoint_hits + recovering.checkpoint_misses >= 1
+        # Re-warmed results are bit-identical to the cold reference...
+        assert stats == reference
+        # ...and the bad artifact was overwritten, so a third run
+        # restores cleanly.
+        third, stats_again = self._run(tmp_path)
+        assert third.checkpoint_hits == 1
+        assert third.checkpoint_writes == 0
+        assert stats_again == reference
