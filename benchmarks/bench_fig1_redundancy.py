@@ -3,37 +3,20 @@ already present in the PRF, per benchmark (load / other split).
 
 Regenerates the paper's first figure from the functional redundancy
 analysis.  Runs over all 29 benchmarks (it needs no timing model).
+Thin shell over :func:`repro.api.figures.run_fig1`.
 """
 
-from repro.harness.redundancy import analyze_benchmark
-from repro.harness.reporting import Table
-from repro.workloads.spec2006 import benchmark_names
+from repro.api.figures import run_fig1
 
 
-def run_fig1():
-    table = Table([
-        "benchmark", "zero(ld)%", "zero(other)%",
-        "inPRF(ld)%", "inPRF(other)%", "total%",
-    ])
-    profiles = []
-    for name in benchmark_names():
-        profile = analyze_benchmark(name, instructions=20000)
-        profiles.append(profile)
-        table.add_row(
-            name,
-            f"{100 * profile.fraction(profile.zero_load):.1f}",
-            f"{100 * profile.fraction(profile.zero_other):.1f}",
-            f"{100 * profile.fraction(profile.in_prf_load):.1f}",
-            f"{100 * profile.fraction(profile.in_prf_other):.1f}",
-            f"{100 * profile.total_redundant_fraction:.1f}",
-        )
-    print("\nFigure 1 — commit-time value redundancy")
-    print(table.render())
+def run_fig1_bench():
+    profiles, text = run_fig1()
+    print(text)
     return profiles
 
 
 def test_fig1_redundancy(benchmark):
-    profiles = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    profiles = benchmark.pedantic(run_fig1_bench, rounds=1, iterations=1)
     by_name = {p.benchmark: p for p in profiles}
     # Paper shapes: zeusmp/cactusADM are the zero-heavy benchmarks; many
     # benchmarks show >= 5% redundancy potential; libquantum is

@@ -1,56 +1,42 @@
 """Figure 4: speedup over baseline for zero prediction, move elimination,
-RSEP (ideal), value prediction, and RSEP + VP."""
+RSEP (ideal), value prediction, and RSEP + VP.
 
-from conftest import make_runner
+Thin shell: the mechanisms, spec and formatter live in
+:mod:`repro.api.figures`; this bench only supplies the bench-scale
+window/benchmark overlay and the acceptance assertions.
+"""
 
-from repro.harness.reporting import Table
-from repro.pipeline.config import MechanismConfig
+from conftest import bench_benchmarks, bench_session, bench_window_spec
 
-MECHANISMS = [
-    MechanismConfig.baseline(),
-    MechanismConfig.zero_prediction(),
-    MechanismConfig.move_elimination(),
-    MechanismConfig.rsep_ideal(),
-    MechanismConfig.value_prediction(),
-    MechanismConfig.rsep_plus_vp(),
-]
+from repro.api.figures import FIG4_MECHANISMS as MECHANISMS  # noqa: F401
+from repro.api.figures import run_figure
 
 
 def run_fig4():
-    runner = make_runner()
-    runner.run(MECHANISMS)
-    table = Table([
-        "benchmark", "base IPC", "zero%", "move%", "rsep%", "vpred%",
-        "rsep+vp%",
-    ])
-    for name in runner.benchmarks:
-        table.add_row(
-            name,
-            f"{runner.outcome(name, 'baseline').ipc:.3f}",
-            *(
-                f"{100 * runner.speedup(name, mech.name):+.1f}"
-                for mech in MECHANISMS[1:]
-            ),
-        )
-    print("\nFigure 4 — speedup over baseline by mechanism")
-    print(table.render())
-    return runner
+    result, text = run_figure(
+        "fig4",
+        session=bench_session(),
+        benchmarks=bench_benchmarks(),
+        window=bench_window_spec(),
+    )
+    print(text)
+    return result
 
 
 def test_fig4_speedup(benchmark):
-    runner = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
     # Headline shapes: RSEP clearly helps its flagship benchmarks...
-    assert runner.speedup("hmmer", "rsep") > 0.04
-    assert runner.speedup("dealII", "rsep") > 0.04
-    assert runner.speedup("omnetpp", "rsep") > -0.01
+    assert result.speedup("hmmer", "rsep") > 0.04
+    assert result.speedup("dealII", "rsep") > 0.04
+    assert result.speedup("omnetpp", "rsep") > -0.01
     # ...while VP leads elsewhere and they do not fully overlap.
-    assert runner.speedup("perlbench", "vpred") > 0.01
-    assert runner.speedup("dealII", "rsep") > runner.speedup(
+    assert result.speedup("perlbench", "vpred") > 0.01
+    assert result.speedup("dealII", "rsep") > result.speedup(
         "dealII", "vpred"
     )
     # The combination never collapses far below the best single mechanism.
     for name in ("hmmer", "dealII", "libquantum"):
         best = max(
-            runner.speedup(name, "rsep"), runner.speedup(name, "vpred")
+            result.speedup(name, "rsep"), result.speedup(name, "vpred")
         )
-        assert runner.speedup(name, "rsep+vpred") > best - 0.06
+        assert result.speedup(name, "rsep+vpred") > best - 0.06

@@ -1,54 +1,41 @@
 """Figure 5: percentage of committed instructions covered by each
-mechanism — RSEP alone, then VP on top of RSEP."""
+mechanism — RSEP alone, then VP on top of RSEP.
 
-from conftest import make_runner
+Thin shell over :mod:`repro.api.figures` (spec + formatter live there).
+"""
 
-from repro.harness.reporting import Table
-from repro.pipeline.config import MechanismConfig
+from conftest import bench_benchmarks, bench_session, bench_window_spec
+
+from repro.api.figures import run_figure
 
 
 def run_fig5():
-    runner = make_runner()
-    runner.run([MechanismConfig.rsep_ideal(), MechanismConfig.rsep_plus_vp()])
-    table = Table([
-        "benchmark", "config", "idiom%", "move%", "zero%", "dist%",
-        "dist(ld)%", "vpred%", "vpred(ld)%",
-    ])
-    for name in runner.benchmarks:
-        for mechanism in ("rsep", "rsep+vpred"):
-            outcome = runner.outcome(name, mechanism)
-            table.add_row(
-                name,
-                mechanism,
-                f"{100 * outcome.stat_fraction('zero_idiom_elim'):.1f}",
-                f"{100 * outcome.stat_fraction('move_elim'):.1f}",
-                f"{100 * outcome.stat_fraction('zero_pred'):.1f}",
-                f"{100 * outcome.stat_fraction('dist_pred'):.1f}",
-                f"{100 * outcome.stat_fraction('dist_pred_load'):.1f}",
-                f"{100 * outcome.stat_fraction('value_pred'):.1f}",
-                f"{100 * outcome.stat_fraction('value_pred_load'):.1f}",
-            )
-    print("\nFigure 5 — committed-instruction coverage per mechanism")
-    print(table.render())
-    return runner
+    result, text = run_figure(
+        "fig5",
+        session=bench_session(),
+        benchmarks=bench_benchmarks(),
+        window=bench_window_spec(),
+    )
+    print(text)
+    return result
 
 
 def test_fig5_coverage(benchmark):
-    runner = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
     # mcf: "almost only loads are predicted".
-    mcf = runner.outcome("mcf", "rsep")
+    mcf = result.outcome("mcf", "rsep")
     if mcf.stat_sum("dist_pred") > 100:
         assert (
             mcf.stat_sum("dist_pred_load")
             > 0.6 * mcf.stat_sum("dist_pred")
         )
     # dealII: mostly non-load distance predictions.
-    dealii = runner.outcome("dealII", "rsep")
+    dealii = result.outcome("dealII", "rsep")
     assert (
         dealii.stat_sum("dist_pred") - dealii.stat_sum("dist_pred_load")
         > dealii.stat_sum("dist_pred_load")
     )
     # VP on top of RSEP adds coverage without erasing RSEP's.
-    combined = runner.outcome("libquantum", "rsep+vpred")
+    combined = result.outcome("libquantum", "rsep+vpred")
     assert combined.stat_fraction("value_pred") > 0.05
     assert combined.stat_fraction("dist_pred") > 0.02

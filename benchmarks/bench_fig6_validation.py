@@ -2,50 +2,28 @@
 
 Five RSEP variants: ideal validation, issue-twice locked to the same FU,
 issue-twice to any FU, and issue-twice-any-FU with sampling at start-train
-thresholds 15 and 63.
+thresholds 15 and 63.  Thin shell over :mod:`repro.api.figures`.
 """
 
-from conftest import make_runner
+from conftest import bench_benchmarks, bench_session, bench_window_spec
 
-from repro.core.validation import ValidationMode
-from repro.harness.reporting import Table
-from repro.pipeline.config import MechanismConfig
-
-VARIANTS = [
-    MechanismConfig.baseline(),
-    MechanismConfig.rsep_validation(ValidationMode.IDEAL),
-    MechanismConfig.rsep_validation(ValidationMode.REISSUE_LOCK_FU),
-    MechanismConfig.rsep_validation(ValidationMode.REISSUE_ANY_FU),
-    MechanismConfig.rsep_validation(
-        ValidationMode.REISSUE_ANY_FU, sampling=True, start_train_threshold=15
-    ),
-    MechanismConfig.rsep_validation(
-        ValidationMode.REISSUE_ANY_FU, sampling=True, start_train_threshold=63
-    ),
-]
+from repro.api.figures import FIG6_VARIANTS as VARIANTS
+from repro.api.figures import run_figure
 
 
 def run_fig6():
-    runner = make_runner()
-    runner.run(VARIANTS)
-    table = Table([
-        "benchmark", "ideal%", "lockFU%", "anyFU%", "samp15%", "samp63%",
-    ])
-    for name in runner.benchmarks:
-        table.add_row(
-            name,
-            *(
-                f"{100 * runner.speedup(name, mech.name):+.1f}"
-                for mech in VARIANTS[1:]
-            ),
-        )
-    print("\nFigure 6 — validation & sampling impact on RSEP speedup")
-    print(table.render())
-    return runner
+    result, text = run_figure(
+        "fig6",
+        session=bench_session(),
+        benchmarks=bench_benchmarks(),
+        window=bench_window_spec(),
+    )
+    print(text)
+    return result
 
 
 def test_fig6_validation(benchmark):
-    runner = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
     ideal = VARIANTS[1].name
     lock = VARIANTS[2].name
     any_fu = VARIANTS[3].name
@@ -53,9 +31,9 @@ def test_fig6_validation(benchmark):
     # instruction must never beat the any-FU scheme on load-heavy code,
     # and ideal validation bounds both from above (within noise).
     for name in ("mcf", "hmmer", "dealII"):
-        assert runner.speedup(name, any_fu) >= runner.speedup(
+        assert result.speedup(name, any_fu) >= result.speedup(
             name, lock
         ) - 0.02
-        assert runner.speedup(name, ideal) >= runner.speedup(
+        assert result.speedup(name, ideal) >= result.speedup(
             name, any_fu
         ) - 0.02

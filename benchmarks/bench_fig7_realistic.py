@@ -1,49 +1,34 @@
 """Figure 7: ideal RSEP (42.6KB, large structures, free validation) versus
 the realistic 10.1KB configuration (128-entry FIFO history, 24-entry ISRB,
-sampling threshold 63, re-issue validation)."""
+sampling threshold 63, re-issue validation).
 
-from conftest import make_runner
+Thin shell over :mod:`repro.api.figures` (the formatter also prints the
+realistic configuration's storage report).
+"""
 
-from repro.common.history import GlobalHistory, PathHistory
-from repro.common.rng import XorShift64
-from repro.core.rsep import RsepConfig, RsepUnit
-from repro.harness.reporting import Table
-from repro.pipeline.config import MechanismConfig
+from conftest import bench_benchmarks, bench_session, bench_window_spec
+
+from repro.api.figures import run_figure
 
 
 def run_fig7():
-    runner = make_runner()
-    runner.run([
-        MechanismConfig.baseline(),
-        MechanismConfig.rsep_ideal(),
-        MechanismConfig.rsep_realistic(),
-    ])
-    table = Table(["benchmark", "ideal%", "realistic%"])
-    for name in runner.benchmarks:
-        table.add_row(
-            name,
-            f"{100 * runner.speedup(name, 'rsep'):+.1f}",
-            f"{100 * runner.speedup(name, 'rsep-realistic'):+.1f}",
-        )
-    print("\nFigure 7 — ideal (42.6KB) vs realistic (10.1KB) RSEP")
-    print(table.render())
-
-    unit = RsepUnit(
-        RsepConfig.realistic(), GlobalHistory(), PathHistory(), XorShift64(1)
+    result, text = run_figure(
+        "fig7",
+        session=bench_session(),
+        benchmarks=bench_benchmarks(),
+        window=bench_window_spec(),
     )
-    report = unit.storage_report()
-    print(f"\nRealistic RSEP storage: {report.total_kib:.2f} KB "
-          "(paper: ~10.8KB incl. ISRB)")
-    return runner
+    print(text)
+    return result
 
 
 def test_fig7_realistic(benchmark):
-    runner = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
     # The realistic configuration keeps part of the ideal speedup on the
     # RSEP-friendly benchmarks and never turns a win into a large loss.
     for name in ("hmmer", "dealII"):
-        ideal = runner.speedup(name, "rsep")
-        realistic = runner.speedup(name, "rsep-realistic")
+        ideal = result.speedup(name, "rsep")
+        realistic = result.speedup(name, "rsep-realistic")
         assert ideal > 0.04
         assert realistic > -0.02
         assert realistic <= ideal + 0.03  # finite structures cannot win big

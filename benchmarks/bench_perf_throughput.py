@@ -22,22 +22,21 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import sys
 from pathlib import Path
 
 from repro.harness.perf import (
     DEFAULT_BENCHMARKS,
+    SMOKE_TOLERANCE,
     measure_throughput,
     render_report,
 )
-from repro.pipeline.config import MechanismConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
 #: Label of the trajectory entry this working tree records.  Bumped once
 #: per perf-relevant PR; override with REPRO_PERF_LABEL for ad-hoc runs.
-CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 4")
+CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 5")
 
 #: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
 #: measured with this same protocol (default window, best-of-3 pipeline
@@ -71,6 +70,11 @@ PINNED_TRAJECTORY = [
         "aggregate_kips": {"baseline": 91.07, "rsep-realistic": 56.55},
         "speedup_vs_seed": {"baseline": 2.86, "rsep-realistic": 2.7},
     },
+    {
+        "label": "PR 4",
+        "aggregate_kips": {"baseline": 94.16, "rsep-realistic": 58.58},
+        "speedup_vs_seed": {"baseline": 2.96, "rsep-realistic": 2.8},
+    },
 ]
 SEED_REFERENCE_PER_BENCHMARK = {
     "baseline": {
@@ -86,13 +90,12 @@ SEED_REFERENCE_PER_BENCHMARK = {
 SMOKE_BENCHMARK = "mcf"
 SMOKE_WARMUP = 1000
 SMOKE_MEASURE = 4000
-#: CI fails when smoke KIPS drops below this fraction of the recorded
-#: reference (>30% regression).
-SMOKE_TOLERANCE = 0.70
 
 
 def _mechanisms():
-    return [MechanismConfig.baseline(), MechanismConfig.rsep_realistic()]
+    from repro.api.spec import default_mechanisms
+
+    return list(default_mechanisms())
 
 
 def _merge_trajectory(existing: list | None, entry: dict) -> list:
@@ -194,42 +197,10 @@ def run_full(repeats: int, json_path: Path) -> int:
 
 
 def run_smoke(repeats: int, json_path: Path) -> int:
-    if not json_path.exists():
-        print(f"no {json_path.name}: run the full bench once to record "
-              "the smoke reference", file=sys.stderr)
-        return 2
-    recorded = json.loads(json_path.read_text(encoding="utf-8"))
-    smoke_ref = recorded.get("smoke")
-    if not smoke_ref:
-        print(f"{json_path.name} has no smoke section; re-run the full "
-              "bench", file=sys.stderr)
-        return 2
+    """The CI regression gate; shared with ``repro perf --smoke``."""
+    from repro.harness.perf import throughput_smoke
 
-    report = measure_throughput(
-        benchmarks=(smoke_ref["benchmark"],),
-        mechanisms=_mechanisms(),
-        warmup=smoke_ref["warmup"],
-        measure=smoke_ref["measure"],
-        repeats=repeats,
-    )
-    print(render_report(report))
-    tolerance = smoke_ref.get("tolerance", SMOKE_TOLERANCE)
-    failed = False
-    for name, reference in smoke_ref["aggregate_kips"].items():
-        current = report.aggregate_kips.get(name)
-        if current is None:
-            continue
-        floor = reference * tolerance
-        verdict = "ok" if current >= floor else "REGRESSION"
-        print(f"smoke {name}: {current:.1f} KIPS vs recorded "
-              f"{reference:.1f} (floor {floor:.1f}) -> {verdict}")
-        if current < floor:
-            failed = True
-    if failed:
-        print("smoke throughput regressed more than "
-              f"{(1 - tolerance) * 100:.0f}% — failing", file=sys.stderr)
-        return 1
-    return 0
+    return throughput_smoke(json_path, repeats=repeats)
 
 
 def main(argv: list[str] | None = None) -> int:

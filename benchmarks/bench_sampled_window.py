@@ -33,24 +33,22 @@ import time
 from dataclasses import replace
 from pathlib import Path
 
+from repro.api import env as api_env
 from repro.harness.reporting import format_ipc, harmonic_mean
-from repro.pipeline.config import MechanismConfig
 from repro.pipeline.simulator import _TRACE_SLACK, Simulator
-from repro.sampling import SamplingConfig
+from repro.workloads.spec2006 import representative_names
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
-#: The representative mix (benchmarks/conftest.py): every behaviour
-#: class the paper discusses.
-REPRESENTATIVE = [
-    "perlbench", "mcf", "gobmk", "hmmer", "libquantum", "omnetpp",
-    "xalancbmk", "bwaves", "gamess", "zeusmp", "dealII", "lbm", "wrf",
-]
+#: The representative mix: every behaviour class the paper discusses.
+REPRESENTATIVE = representative_names()
 
 
 def _mechanisms():
-    return [MechanismConfig.baseline(), MechanismConfig.rsep_realistic()]
+    from repro.api.spec import default_mechanisms
+
+    return list(default_mechanisms())
 
 
 def _sweep(simulator, benchmarks, mechanisms, warmup, measure, sampling,
@@ -93,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
     # checkpoints=False: record the conservative cold-warm-up wall (a
     # warm checkpoint store would only flatter repeated runs).
     sampling = replace(
-        SamplingConfig.from_environment(), enabled=True, checkpoints=False,
+        api_env.sampling_from_env(), enabled=True, checkpoints=False,
     )
     if args.interval is not None:
         sampling = replace(sampling, interval=args.interval)

@@ -1,43 +1,30 @@
 """Table I: the simulator configuration, plus baseline IPC per benchmark
-(the sanity row every evaluation starts from)."""
+(the sanity row every evaluation starts from).
 
-from conftest import make_runner
+Thin shell over :mod:`repro.api.figures`.
+"""
 
-from repro.harness.reporting import Table, harmonic_mean
-from repro.pipeline.config import CoreConfig, MechanismConfig
+from conftest import bench_benchmarks, bench_session, bench_window_spec
+
+from repro.api.figures import run_figure
 
 
 def run_table1():
-    config = CoreConfig()
-    print("\nTable I — simulator configuration")
-    print(f"  fetch/rename/commit width : {config.fetch_width}")
-    print(f"  ROB / IQ / LQ / SQ        : {config.rob_entries} / "
-          f"{config.iq_entries} / {config.lq_entries} / {config.sq_entries}")
-    print(f"  INT / FP physical regs    : {config.int_pregs} / "
-          f"{config.fp_pregs}")
-    print(f"  min mispredict penalty    : {config.mispredict_penalty}")
-    print(f"  L1D/L2/L3 latency         : {config.memory.l1d_latency} / "
-          f"{config.memory.l2_latency} / {config.memory.l3_latency}")
-    print(f"  STLF latency              : {config.stlf_latency}")
-
-    runner = make_runner()
-    runner.run([MechanismConfig.baseline()])
-    table = Table(["benchmark", "baseline IPC", "branch MPKI"])
-    ipcs = []
-    for name in runner.benchmarks:
-        outcome = runner.outcome(name, "baseline")
-        ipcs.append(outcome.ipc)
-        mpki = harmonic_mean(
-            [s.branch_mpki for s in outcome.merged_stats if s.branch_mpki]
-            or [0.0]
-        )
-        table.add_row(name, f"{outcome.ipc:.3f}", f"{mpki:.1f}")
-    print(table.render())
-    return ipcs
+    result, text = run_figure(
+        "table1",
+        session=bench_session(),
+        benchmarks=bench_benchmarks(),
+        window=bench_window_spec(),
+    )
+    print(text)
+    return result
 
 
 def test_table1_baseline(benchmark):
-    ipcs = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    ipcs = [
+        result.outcome(name, "baseline").ipc for name in result.benchmarks
+    ]
     # SPEC-like IPC band on a Haswell-class 8-wide core.
     assert all(0.2 < ipc < 8.0 for ipc in ipcs)
     assert min(ipcs) < 1.5  # memory/branch-bound benchmarks exist

@@ -5,42 +5,48 @@ windows so `pytest benchmarks/ --benchmark-only` completes in minutes.
 Set ``REPRO_FULL=1`` for all 29 benchmarks and ``REPRO_WARMUP`` /
 ``REPRO_MEASURE`` / ``REPRO_SEEDS`` for higher fidelity.
 
-Every bench builds its runner through :func:`make_runner`, which routes
-through the process-wide :class:`~repro.harness.sweep.SweepEngine`: all
-benches of one session share the persistent trace store (each functional
-trace is interpreted at most once per machine) and the cell memo (cells
-appearing in several figures — fig. 4's baseline is also fig. 6's,
-fig. 7's and Table I's — are simulated exactly once per session).
+The figure benches run through the spec API (:mod:`repro.api.figures`):
+:func:`bench_session` is a default :class:`~repro.api.Session`, so all
+benches of one pytest session share the process-wide sweep engine — the
+persistent trace store (each functional trace is interpreted at most
+once per machine) and the cell memo (cells appearing in several figures
+— fig. 4's baseline is also fig. 6's, fig. 7's and Table I's — are
+simulated exactly once per session).  :func:`make_runner` keeps the
+legacy :class:`~repro.harness.runner.ExperimentRunner` path alive for
+the ablation studies.
 """
-
-import os
 
 import pytest
 
+from repro.api import Session, WindowSpec
+from repro.api import env as api_env
 from repro.harness.runner import ExperimentRunner
 from repro.harness.sweep import shared_engine
-from repro.workloads.spec2006 import benchmark_names
+from repro.workloads.spec2006 import benchmark_names, representative_names
 
-#: Subset covering every behaviour class the paper discusses: RSEP wins
-#: (mcf, hmmer, dealII, omnetpp), VP wins (perlbench, wrf, zeusmp),
-#: overlap (libquantum, xalancbmk), zero/ILP (gamess), neutral (gobmk,
-#: lbm), FP streaming (bwaves).
-REPRESENTATIVE = [
-    "perlbench", "mcf", "gobmk", "hmmer", "libquantum", "omnetpp",
-    "xalancbmk", "bwaves", "gamess", "zeusmp", "dealII", "lbm", "wrf",
-]
+#: Re-exported for bench code: the representative subset now lives with
+#: the workloads (see repro.workloads.spec2006.REPRESENTATIVE).
+REPRESENTATIVE = representative_names()
 
 
 def bench_benchmarks() -> list[str]:
-    if os.environ.get("REPRO_FULL"):
+    if api_env.full_benchmarks_from_env():
         return benchmark_names()
-    return REPRESENTATIVE
+    return representative_names()
 
 
 def bench_windows() -> tuple[int, int]:
-    warmup = int(os.environ.get("REPRO_WARMUP", "8000"))
-    measure = int(os.environ.get("REPRO_MEASURE", "24000"))
-    return warmup, measure
+    return api_env.window_from_env(default_measure=24000)
+
+
+def bench_window_spec() -> WindowSpec:
+    warmup, measure = bench_windows()
+    return WindowSpec(warmup=warmup, measure=measure)
+
+
+def bench_session() -> Session:
+    """A session on the process-wide shared sweep engine."""
+    return Session()
 
 
 def make_runner(benchmarks: list[str] | None = None) -> ExperimentRunner:

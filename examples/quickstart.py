@@ -1,44 +1,63 @@
 #!/usr/bin/env python3
-"""Quickstart: run one benchmark under the baseline and under RSEP.
+"""Quickstart: one benchmark under the baseline and under RSEP.
 
 Usage::
 
     python examples/quickstart.py [benchmark]
 
-Shows the core public API: get the shared sweep engine, pick a
-MechanismConfig, run cells, and read IPC/coverage/accuracy off the stats
-object.  The engine is the same code path the figure benches use — its
-simulator serves traces from the persistent on-disk trace store, so the
-second invocation of this script skips interpretation entirely, and
-identical cells are simulated only once per process.
+Shows the front-door API (DESIGN.md §10): describe the experiment as a
+typed :class:`ExperimentSpec` (the environment overlays defaults exactly
+once, at construction), run it through a :class:`Session`, and read
+IPC/coverage/accuracy off the versioned :class:`RunResult` artifact.
+The session shares the process-wide sweep engine — the same code path
+the figure benches and the ``repro`` CLI use — so its simulator serves
+traces from the persistent on-disk trace store, the second invocation of
+this script skips interpretation entirely, and identical cells are
+simulated only once per process.
+
+The equivalent CLI invocation::
+
+    repro sweep --benchmark dealII --mechanism baseline --mechanism rsep
 """
 
 import sys
 
-from repro import MechanismConfig
-from repro.harness.sweep import shared_engine
+from repro.api import ExperimentSpec, Session
+from repro.pipeline.config import MechanismConfig
 
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "dealII"
-    engine = shared_engine()
+    spec = ExperimentSpec.from_env(
+        benchmarks=[benchmark],
+        mechanisms=[
+            MechanismConfig.baseline(), MechanismConfig.rsep_ideal()
+        ],
+    )
+    session = Session()
+    result = session.run(spec)
 
-    base = engine.run_cell(benchmark, MechanismConfig.baseline())
-    rsep = engine.run_cell(benchmark, MechanismConfig.rsep_ideal())
-
+    base = result.outcome(benchmark, "baseline")
+    rsep = result.outcome(benchmark, "rsep")
     print(f"benchmark          : {benchmark}")
+    print(f"spec fingerprint   : {result.fingerprint}")
+    print(f"window             : warmup {spec.window.warmup}, "
+          f"measure {spec.window.measure}")
     print(f"baseline IPC       : {base.ipc:.3f}")
     print(f"RSEP IPC           : {rsep.ipc:.3f}")
-    print(f"speedup            : {rsep.ipc / base.ipc - 1.0:+.1%}")
-    stats = rsep.stats
+    print(f"speedup            : {result.speedup(benchmark, 'rsep'):+.1%}")
+    stats = rsep.merged_stats[0]
     print(f"distance-predicted : {stats.dist_pred} commits "
           f"({stats.coverage_fraction(stats.dist_pred):.1%} of committed)")
     print(f"RSEP accuracy      : {stats.rsep_accuracy:.4f}")
     print(f"squashes (RSEP)    : {stats.squashes_rsep}")
-    store = engine.simulator.trace_store
+    store = session.simulator.trace_store
     if store is not None:
         print(f"trace store        : {store.root} "
               f"(hits {store.hits}, misses {store.misses})")
+    # The artifact round-trips through JSON with its fingerprint intact:
+    # `repro report <file>` renders it, `repro inspect <file>` shows its
+    # provenance.  (See `repro sweep --json`.)
 
 
 if __name__ == "__main__":

@@ -4,17 +4,19 @@ Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install
 -e .`` works in offline environments whose setuptools cannot build
 PEP 660 editable wheels (no ``wheel`` package available).
 
-Installs two console entry points wrapping the module CLIs:
+Installs the unified front door plus two deprecated aliases:
 
-* ``repro-sweep`` → ``python -m repro.harness.sweep``
-* ``repro-perf``  → ``python -m repro.harness.perf``
+* ``repro``       → ``repro.api.cli`` (sweep / perf / figures / report /
+  inspect — see DESIGN.md §10)
+* ``repro-sweep`` → deprecated alias of ``python -m repro.harness.sweep``
+* ``repro-perf``  → deprecated alias of ``python -m repro.harness.perf``
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-register-sharing",
-    version="1.0.0",  # keep in sync with repro.__version__
+    version="1.1.0",  # keep in sync with repro.__version__
     description=(
         "Reproduction of 'Register Sharing for Equality Prediction' "
         "(Perais, Endo, Seznec — MICRO 2016)"
@@ -24,8 +26,9 @@ setup(
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [
-            "repro-sweep = repro.harness.sweep:main",
-            "repro-perf = repro.harness.perf:main",
+            "repro = repro.api.cli:main",
+            "repro-sweep = repro.api.cli:sweep_alias_main",
+            "repro-perf = repro.api.cli:perf_alias_main",
         ],
     },
 )

@@ -39,7 +39,17 @@ from repro.predictors.dvtage import DVtageConfig, DVtagePredictor
 from repro.sampling import SampledRun, SamplingConfig
 from repro.workloads.spec2006 import benchmark_names, generate_trace
 
-__version__ = "1.0.0"
+# The typed front door (DESIGN.md §10).  Imported last: repro.api builds
+# on the harness/pipeline modules above.
+from repro.api import (  # noqa: E402
+    ExperimentSpec,
+    RunResult,
+    Session,
+    StoreSpec,
+    WindowSpec,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "CoreConfig",
@@ -47,19 +57,24 @@ __all__ = [
     "DVtagePredictor",
     "DistancePredictor",
     "DistancePredictorConfig",
+    "ExperimentSpec",
     "MechanismConfig",
     "Pipeline",
     "RsepConfig",
     "RsepUnit",
+    "RunResult",
     "SampledRun",
     "SamplingConfig",
+    "Session",
     "SimulationResult",
     "Simulator",
     "Stats",
+    "StoreSpec",
     "SweepEngine",
     "ValidationMode",
     "VpConfig",
     "VpEngine",
+    "WindowSpec",
     "__version__",
     "benchmark_names",
     "generate_trace",

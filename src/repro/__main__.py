@@ -1,0 +1,6 @@
+"""``python -m repro`` — the ``repro`` CLI without an install step."""
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

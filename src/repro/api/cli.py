@@ -1,0 +1,406 @@
+"""``repro`` — the single console front door.
+
+Subcommands::
+
+    repro sweep    run (or smoke-gate) a benchmark × mechanism sweep
+    repro perf     simulated-KIPS throughput harness (+ CI smoke gate)
+    repro figures  regenerate the paper's figures from declarative specs
+    repro report   render a stored RunResult artifact
+    repro inspect  show an artifact's provenance, or the environment overlay
+
+Every run subcommand builds an :class:`~repro.api.spec.ExperimentSpec`
+through the one environment overlay (explicit flag beats ``REPRO_*``
+beats default) and executes it through a
+:class:`~repro.api.session.Session`, so a CLI invocation, a bench and a
+library call are the same experiment value — fingerprint and all.
+
+The pre-PR 5 ``repro-sweep`` / ``repro-perf`` entry points survive as
+deprecated aliases of the underlying module CLIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api import env as api_env
+from repro.api.figures import FIGURE_NAMES, render_figure, run_figure
+from repro.api.result import RunResult
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec, WindowSpec
+from repro.harness.reporting import Table, format_ipc
+from repro.pipeline.config import MECHANISM_PRESETS, MechanismConfig
+
+PROG = "repro"
+
+
+# ---------------------------------------------------------------------------
+# Shared rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_result(result: RunResult) -> str:
+    """Benchmark × mechanism IPC table (speedup vs baseline when present)."""
+    have_baseline = "baseline" in result.mechanism_names()
+    headers = ["benchmark", "mechanism", "IPC"]
+    if have_baseline:
+        headers.append("vs baseline")
+    table = Table(headers)
+    for benchmark in result.benchmarks:
+        for name in result.mechanism_names():
+            outcome = result.outcome(benchmark, name)
+            row = [benchmark, name, format_ipc(outcome.merged_stats[0])
+                   if len(outcome.results) == 1 else f"{outcome.ipc:.3f}"]
+            if have_baseline:
+                row.append(
+                    "-" if name == "baseline"
+                    else f"{100 * result.speedup(benchmark, name):+.1f}%"
+                )
+            table.add_row(*row)
+    return table.render()
+
+
+def _spec_summary(spec: ExperimentSpec) -> str:
+    sampling = spec.sampling
+    return "\n".join([
+        f"fingerprint : {spec.fingerprint()}",
+        f"benchmarks  : {len(spec.benchmarks)} "
+        f"({', '.join(spec.benchmarks[:6])}"
+        + (", ..." if len(spec.benchmarks) > 6 else "") + ")",
+        f"mechanisms  : {', '.join(spec.mechanism_names())}",
+        f"seeds       : {list(spec.seeds)}",
+        f"window      : warmup {spec.window.warmup}, "
+        f"measure {spec.window.measure}",
+        f"sampling    : " + (
+            f"interval {sampling.interval}, detail {sampling.detail_ratio}, "
+            f"ramp {sampling.detail_warmup}" if sampling.active else "off"
+        ),
+        f"store       : "
+        + ("disabled" if not spec.store.enabled
+           else (spec.store.path or "default cache"))
+        + f", columnar {'on' if spec.store.columnar else 'off'}",
+        f"workers     : {spec.workers}",
+        f"cells       : {spec.cells}",
+    ])
+
+
+def _mechanisms_from_args(names: list[str] | None):
+    if not names:
+        return None
+    return [MechanismConfig.preset(name) for name in names]
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_sweep(args) -> int:
+    if args.smoke:
+        ignored = [
+            flag for flag, value in (
+                ("--benchmark", args.benchmarks),
+                ("--mechanism", args.mechanisms),
+                ("--seeds", args.seeds), ("--warmup", args.warmup),
+                ("--measure", args.measure), ("--workers", args.workers),
+                ("--json", args.json),
+            ) if value is not None
+        ]
+        if ignored:
+            print("repro sweep --smoke runs a fixed gate; it cannot take "
+                  f"{', '.join(ignored)}", file=sys.stderr)
+            return 2
+        from repro.harness import sweep as sweep_module
+
+        smoke_args = ["--smoke"] + (["--sampled"] if args.sampled else [])
+        return sweep_module.main(smoke_args)
+    sampling = None
+    if args.sampled:
+        from dataclasses import replace
+
+        sampling = replace(api_env.sampling_from_env(), enabled=True)
+    try:
+        spec = ExperimentSpec.from_env(
+            benchmarks=args.benchmarks,
+            mechanisms=_mechanisms_from_args(args.mechanisms),
+            seeds=list(range(1, args.seeds + 1)) if args.seeds else None,
+            warmup=args.warmup,
+            measure=args.measure,
+            sampling=sampling,
+            workers=args.workers,
+        )
+    except (TypeError, ValueError) as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+    print(_spec_summary(spec))
+    result = Session.for_spec(spec).run(spec)
+    print()
+    print(_render_result(result))
+    if args.json:
+        result.save(args.json)
+        print(f"\nwrote {args.json} (digest {result.digest()})")
+    return 0
+
+
+def _cmd_perf(args, passthrough: list[str]) -> int:
+    from repro.harness.perf import main as perf_main, throughput_smoke
+
+    if args.smoke:
+        if passthrough:
+            print("repro perf --smoke runs the fixed regression gate; it "
+                  f"cannot take {' '.join(passthrough)}", file=sys.stderr)
+            return 2
+        return throughput_smoke(args.json or "BENCH_perf.json",
+                                repeats=args.repeats)
+    return perf_main(passthrough)
+
+
+def _cmd_figures(args) -> int:
+    names = args.figures or list(FIGURE_NAMES)
+    unknown = [name for name in names if name not in FIGURE_NAMES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(FIGURE_NAMES)})", file=sys.stderr)
+        return 2
+    if args.benchmarks:
+        from repro.workloads.spec2006 import benchmark_names
+
+        bad = [b for b in args.benchmarks if b not in benchmark_names()]
+        if bad:
+            print(f"unknown benchmark(s): {', '.join(bad)}",
+                  file=sys.stderr)
+            return 2
+    window = None
+    if args.warmup is not None or args.measure is not None:
+        base = WindowSpec.from_env()
+        window = WindowSpec(
+            warmup=base.warmup if args.warmup is None else args.warmup,
+            measure=base.measure if args.measure is None else args.measure,
+        )
+    session = Session()
+    for name in names:
+        if name == "fig1":
+            _, text = run_figure(
+                "fig1", benchmarks=args.benchmarks, window=window,
+            )
+            print(text)
+            if args.out:
+                print("[fig1 is a functional analysis without a RunResult "
+                      "artifact; nothing saved for it]")
+            continue
+        try:
+            result, text = run_figure(
+                name, session=session, benchmarks=args.benchmarks,
+                window=window,
+            )
+        except (TypeError, ValueError) as error:
+            print(f"repro figures: {error}", file=sys.stderr)
+            return 2
+        print(text)
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"{name}.json"
+            result.save(path)
+            print(f"[wrote {path} (digest {result.digest()})]")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    status = 0
+    for path in args.artifacts:
+        try:
+            result = RunResult.load(path)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"{path}: unreadable artifact: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"# {path}")
+        print(f"fingerprint {result.fingerprint}  digest {result.digest()}  "
+              f"format {result.format}")
+        print(_render_result(result))
+        if args.figure:
+            try:
+                print(render_figure(args.figure, result))
+            except KeyError as error:
+                print(f"{path}: cannot render as {args.figure}: the "
+                      f"artifact has no cell for {error}", file=sys.stderr)
+                status = 1
+        print()
+    return status
+
+
+def _cmd_inspect(args) -> int:
+    if args.artifact:
+        try:
+            result = RunResult.load(args.artifact)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"{args.artifact}: unreadable artifact: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"# {args.artifact}")
+        print(f"format      : {result.format}")
+        print(f"digest      : {result.digest()}")
+        print(_spec_summary(result.spec))
+        for key, value in sorted(result.meta.items()):
+            print(f"meta.{key:<12}: {value}")
+        return 0
+    # Environment mode: the resolved overlay plus the migration table.
+    unknown = api_env.warn_unknown_vars()
+    spec = ExperimentSpec.from_env()
+    print("# environment overlay (explicit field beats env beats default)")
+    print(_spec_summary(spec))
+    print()
+    import os
+
+    table = Table(["variable", "set to", "spec field / consumer"])
+    for name, (field_name, _) in sorted(api_env.KNOWN_VARS.items()):
+        table.add_row(name, os.environ.get(name, "(unset)"), field_name)
+    print(table.render())
+    if unknown:
+        print(f"\nWARNING: unrecognized REPRO_* variable(s): "
+              f"{', '.join(unknown)}")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Reproduction front door: typed experiment specs, "
+        "one CLI, versioned result artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sweep = sub.add_parser(
+        "sweep", help="run (or smoke-gate) a benchmark × mechanism sweep"
+    )
+    sweep.add_argument("--smoke", action="store_true",
+                       help="CI gate: cold == memoised == warm-store")
+    sweep.add_argument("--sampled", action="store_true",
+                       help="run interval-sampled (REPRO_INTERVAL and "
+                       "friends); with --smoke: also gate sampled "
+                       "simulation")
+    sweep.add_argument("--benchmark", action="append", dest="benchmarks",
+                       metavar="NAME",
+                       help="benchmark (repeatable; default: the "
+                       "representative mix, all 29 with REPRO_FULL)")
+    sweep.add_argument("--mechanism", action="append", dest="mechanisms",
+                       metavar="NAME", choices=sorted(MECHANISM_PRESETS),
+                       help="mechanism preset (repeatable; default: "
+                       "baseline and rsep-realistic)")
+    sweep.add_argument("--seeds", type=int, default=None,
+                       help="checkpoints per benchmark (default: "
+                       "REPRO_SEEDS)")
+    sweep.add_argument("--warmup", type=int, default=None,
+                       help="warm-up instructions (default: REPRO_WARMUP)")
+    sweep.add_argument("--measure", type=int, default=None,
+                       help="measured instructions (default: REPRO_MEASURE)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="sweep worker processes (default: REPRO_WORKERS)")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="write the RunResult artifact to PATH")
+
+    perf = sub.add_parser(
+        "perf", help="simulated-KIPS throughput harness (+ CI smoke gate)",
+        add_help=False,
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="CI gate: fail on >30%% KIPS regression against "
+                      "the recorded BENCH_perf.json")
+    perf.add_argument("--repeats", type=int, default=3)
+    perf.add_argument("--json", metavar="PATH", default=None,
+                      help="with --smoke: the recorded BENCH_perf.json "
+                      "(default ./BENCH_perf.json)")
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figures"
+    )
+    figures.add_argument("figures", nargs="*", metavar="FIGURE",
+                         help=f"which figures ({', '.join(FIGURE_NAMES)}; "
+                         "default: all)")
+    figures.add_argument("--benchmark", action="append", dest="benchmarks",
+                         metavar="NAME",
+                         help="benchmark subset (repeatable)")
+    figures.add_argument("--warmup", type=int, default=None)
+    figures.add_argument("--measure", type=int, default=None)
+    figures.add_argument("--out", metavar="DIR", default=None,
+                         help="also save one RunResult artifact per figure")
+
+    report = sub.add_parser(
+        "report", help="render stored RunResult artifacts"
+    )
+    report.add_argument("artifacts", nargs="+", metavar="ARTIFACT")
+    report.add_argument("--figure", choices=sorted(
+        name for name in FIGURE_NAMES if name != "fig1"
+    ), default=None, help="additionally render with a figure formatter")
+
+    inspect = sub.add_parser(
+        "inspect", help="artifact provenance, or the environment overlay"
+    )
+    inspect.add_argument("artifact", nargs="?", default=None,
+                         metavar="ARTIFACT",
+                         help="artifact to inspect (default: show the "
+                         "resolved environment overlay)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # `repro perf` forwards unknown flags to the measurement harness
+    # (repro.harness.perf) so the full flag surface stays in one place.
+    if argv and argv[0] == "perf" and "--smoke" not in argv:
+        from repro.harness.perf import main as perf_main
+
+        return perf_main(argv[1:])
+    parser = build_parser()
+    args, passthrough = parser.parse_known_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if passthrough and args.command != "perf":
+        parser.error(f"unrecognized arguments: {' '.join(passthrough)}")
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "perf":
+        return _cmd_perf(args, passthrough)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_inspect(args)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated console aliases (PR 3's entry points)
+# ---------------------------------------------------------------------------
+
+
+def sweep_alias_main(argv: list[str] | None = None) -> int:
+    """``repro-sweep``: deprecated alias of ``repro sweep --smoke`` /
+    ``python -m repro.harness.sweep``."""
+    print("repro-sweep is deprecated; use `repro sweep` (same flags)",
+          file=sys.stderr)
+    from repro.harness.sweep import main as sweep_main
+
+    return sweep_main(argv)
+
+
+def perf_alias_main(argv: list[str] | None = None) -> int:
+    """``repro-perf``: deprecated alias of ``repro perf`` /
+    ``python -m repro.harness.perf``."""
+    print("repro-perf is deprecated; use `repro perf` (same flags)",
+          file=sys.stderr)
+    from repro.harness.perf import main as perf_main
+
+    return perf_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

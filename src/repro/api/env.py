@@ -1,0 +1,228 @@
+"""The single place ``REPRO_*`` environment variables are read.
+
+Before this module, window sizes, seed counts, sampling parameters,
+store roots, the columnar switch and worker counts were each parsed
+independently in whichever module happened to need them (DESIGN.md §10).
+Every one of those reads now funnels through here: the typed helpers
+below are the implementation, the legacy helpers (``default_windows``,
+``default_seeds``, ``SamplingConfig.from_environment``, …) are
+deprecation shims delegating to them, and :func:`warn_unknown_vars` is
+the typo guard that tells you ``REPRO_MESURE=40000`` did nothing.
+
+Only the standard library is imported at module level so this module is
+importable from anywhere in the package (including the modules the rest
+of :mod:`repro.api` is built on) without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+
+#: Every recognised ``REPRO_*`` variable -> (spec field / consumer, meaning).
+#: This table *is* the migration map rendered by ``repro inspect --env``
+#: and the README; keep it exhaustive or the typo guard cries wolf.
+KNOWN_VARS: dict[str, tuple[str, str]] = {
+    "REPRO_WARMUP": (
+        "ExperimentSpec.window.warmup", "warm-up instructions (default 8000)"
+    ),
+    "REPRO_MEASURE": (
+        "ExperimentSpec.window.measure",
+        "measured instructions (default 20000)",
+    ),
+    "REPRO_SCALE": (
+        "ExperimentSpec.window (folded in)",
+        "multiplier applied to both windows (default 1.0)",
+    ),
+    "REPRO_SEEDS": (
+        "ExperimentSpec.seeds", "checkpoints per benchmark (default 1)"
+    ),
+    "REPRO_SAMPLING": (
+        "ExperimentSpec.sampling.enabled", "enable interval sampling"
+    ),
+    "REPRO_INTERVAL": (
+        "ExperimentSpec.sampling.interval",
+        "instructions per sampling interval (default 18500)",
+    ),
+    "REPRO_DETAIL_RATIO": (
+        "ExperimentSpec.sampling.detail_ratio",
+        "measured fraction of each interval (default 0.0811)",
+    ),
+    "REPRO_DETAIL_WARMUP": (
+        "ExperimentSpec.sampling.detail_warmup",
+        "detailed ramp before each measured span (default 768)",
+    ),
+    "REPRO_TRACE_STORE": (
+        "ExperimentSpec.store.path",
+        "trace/checkpoint store root ('off' disables)",
+    ),
+    "REPRO_COLUMNAR": (
+        "ExperimentSpec.store.columnar",
+        "packed-column runtime trace plane (default on)",
+    ),
+    "REPRO_WORKERS": (
+        "ExperimentSpec.workers", "parallel sweep workers (default 1)"
+    ),
+    "REPRO_FULL": (
+        "ExperimentSpec.benchmarks (from_env default)",
+        "benches/CLI: all 29 benchmarks instead of the representative 13",
+    ),
+    "REPRO_PERF_LABEL": (
+        "bench_perf_throughput CURRENT_LABEL",
+        "ad-hoc trajectory label override",
+    ),
+}
+
+#: Values that mean "off" wherever a variable acts as a switch.
+OFF_VALUES = ("", "0", "off", "no", "none", "false", "disabled")
+
+# Unknown names already warned about (warn once per name per process).
+_warned_unknown: set[str] = set()
+
+
+class UnknownReproVariable(UserWarning):
+    """An environment variable looks like ours but is not recognised."""
+
+
+def flag(value: str | None, default: bool = False) -> bool:
+    """Interpret a switch-style variable value (``None`` = unset)."""
+    if value is None:
+        return default
+    return value.strip().lower() not in OFF_VALUES
+
+
+def warn_unknown_vars(
+    environ: dict[str, str] | None = None, strict: bool = False
+) -> list[str]:
+    """The typo guard: flag ``REPRO_*`` names nothing reads.
+
+    Returns the unknown names found; warns (:class:`UnknownReproVariable`,
+    once per name per process) or raises with ``strict=True``.  Called by
+    :meth:`ExperimentSpec.from_env` and the ``repro`` CLI so a
+    misspelled variable can never silently configure nothing.
+    """
+    environ = os.environ if environ is None else environ
+    unknown = sorted(
+        name for name in environ
+        if name.startswith("REPRO_") and name not in KNOWN_VARS
+    )
+    if unknown and strict:
+        raise ValueError(
+            f"unrecognized REPRO_* variable(s): {', '.join(unknown)}; "
+            f"known names: {', '.join(sorted(KNOWN_VARS))}"
+        )
+    for name in unknown:
+        if name in _warned_unknown:
+            continue
+        _warned_unknown.add(name)
+        warnings.warn(
+            f"environment variable {name} is not recognized and has no "
+            f"effect (known REPRO_* names: {', '.join(sorted(KNOWN_VARS))})",
+            UnknownReproVariable,
+            stacklevel=2,
+        )
+    return unknown
+
+
+def deprecated(old: str, new: str) -> None:
+    """Emit the shim warning for a legacy env-reading helper."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} (repro.api is the single env "
+        "front door since PR 5)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Typed readers (one per spec field group)
+# ---------------------------------------------------------------------------
+
+
+def window_from_env(
+    default_warmup: int = 8000, default_measure: int = 20000
+) -> tuple[int, int]:
+    """(warmup, measure) instruction counts after ``REPRO_SCALE``.
+
+    The defaults are overridable because the figure benches historically
+    default to a slightly larger measured window (24000) than the
+    library (20000); both read the same variables.
+    """
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    warmup = int(os.environ.get("REPRO_WARMUP", str(default_warmup)))
+    measure = int(os.environ.get("REPRO_MEASURE", str(default_measure)))
+    return max(256, int(warmup * scale)), max(512, int(measure * scale))
+
+
+def seeds_from_env() -> list[int]:
+    """Checkpoint seeds (paper: 10 checkpoints; default here: 1)."""
+    return list(range(1, int(os.environ.get("REPRO_SEEDS", "1")) + 1))
+
+
+def workers_from_env() -> int:
+    """Sweep worker processes: ``REPRO_WORKERS`` or 1 (parallelism stays
+    opt-in — implicit fan-out would surprise profiling and CI timing)."""
+    configured = os.environ.get("REPRO_WORKERS")
+    if configured:
+        return max(1, int(configured))
+    return 1
+
+
+def columnar_from_env() -> bool:
+    """Whether the runtime consumes packed columns (default on).
+
+    ``REPRO_COLUMNAR=0`` selects the legacy eager-``DynInst`` trace
+    plane — kept alive as the differential-testing oracle (DESIGN.md §9).
+    """
+    return flag(os.environ.get("REPRO_COLUMNAR"), default=True)
+
+
+def store_setting_from_env() -> tuple[str | None, bool]:
+    """``REPRO_TRACE_STORE`` as ``(explicit path or None, enabled)``.
+
+    Unset means "the default cache location" — reported as ``(None,
+    True)`` rather than a materialised path, so specs built from a
+    pristine environment stay equal to the default :class:`StoreSpec`
+    (and no absolute home-directory path leaks into artifacts).
+    """
+    configured = os.environ.get("REPRO_TRACE_STORE")
+    if configured is None:
+        return None, True
+    if configured.strip().lower() in OFF_VALUES:
+        return None, False
+    return configured, True
+
+
+def store_root_from_env() -> Path | None:
+    """Trace-store directory (``None`` = persistence disabled).
+
+    ``REPRO_TRACE_STORE`` overrides; otherwise ``~/.cache/repro/traces``
+    honouring ``XDG_CACHE_HOME``.
+    """
+    path, enabled = store_setting_from_env()
+    if not enabled:
+        return None
+    if path is not None:
+        return Path(path)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def full_benchmarks_from_env() -> bool:
+    """``REPRO_FULL``: run all 29 benchmarks, not the representative 13."""
+    return flag(os.environ.get("REPRO_FULL"))
+
+
+def sampling_from_env():
+    """Resolve the sampled-simulation variables into a
+    :class:`~repro.sampling.config.SamplingConfig` (DESIGN.md §8)."""
+    from repro.sampling.config import SamplingConfig
+
+    return SamplingConfig(
+        enabled=flag(os.environ.get("REPRO_SAMPLING")),
+        interval=int(os.environ.get("REPRO_INTERVAL", "18500")),
+        detail_ratio=float(os.environ.get("REPRO_DETAIL_RATIO", "0.0811")),
+        detail_warmup=int(os.environ.get("REPRO_DETAIL_WARMUP", "768")),
+    )

@@ -1,0 +1,218 @@
+"""Versioned, JSON-round-trippable result artifacts.
+
+A :class:`RunResult` is what :meth:`Session.run` returns and what
+``repro report`` / ``repro inspect`` consume: the spec that produced it
+(embedded, so the artifact replays), its content fingerprint, one
+:class:`CellResult` per (benchmark, mechanism, seed) cell carrying the
+full :class:`~repro.pipeline.stats.Stats`, and host metadata for
+provenance.  ``FORMAT`` is bumped on any incompatible layout change;
+loaders reject artifacts from the future instead of misreading them.
+
+The accessor surface (``outcome`` / ``ipc`` / ``speedup``) mirrors the
+legacy :class:`~repro.harness.runner.ExperimentRunner`, so the figure
+formatters — and the figure benches' assertions — read either source
+unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+
+from repro.api.spec import ExperimentSpec
+from repro.harness.runner import BenchmarkOutcome
+from repro.pipeline.simulator import SimulationResult
+from repro.pipeline.stats import Stats
+
+#: Artifact layout version.  Bump on incompatible changes; loaders
+#: reject newer formats rather than guessing.
+FORMAT = 1
+
+
+def host_metadata() -> dict[str, str]:
+    """Provenance of the producing process (never part of any digest)."""
+    import repro
+
+    return {
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+    }
+
+
+@dataclass
+class CellResult:
+    """One (benchmark, mechanism, seed) cell's statistics."""
+
+    benchmark: str
+    mechanism: str
+    seed: int
+    stats: Stats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "mechanism": self.mechanism,
+            "seed": self.seed,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellResult":
+        return cls(
+            benchmark=payload["benchmark"],
+            mechanism=payload["mechanism"],
+            seed=payload["seed"],
+            stats=Stats(**payload["stats"]),
+        )
+
+
+@dataclass
+class RunResult:
+    """The versioned artifact of one executed :class:`ExperimentSpec`."""
+
+    spec: ExperimentSpec
+    cells: list[CellResult]
+    fingerprint: str = ""
+    format: int = FORMAT
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = self.spec.fingerprint()
+        if not self.meta:
+            self.meta = host_metadata()
+        self._index: dict[tuple[str, str], BenchmarkOutcome] = {}
+        for cell in self.cells:
+            key = (cell.benchmark, cell.mechanism)
+            outcome = self._index.get(key)
+            if outcome is None:
+                outcome = BenchmarkOutcome(cell.benchmark, cell.mechanism)
+                self._index[key] = outcome
+            outcome.results.append(SimulationResult(
+                cell.benchmark, cell.mechanism, cell.seed, cell.stats
+            ))
+
+    # ------------------------------------------------------------------
+    # Accessors (ExperimentRunner-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def benchmarks(self) -> list[str]:
+        return list(self.spec.benchmarks)
+
+    def mechanism_names(self) -> list[str]:
+        return self.spec.mechanism_names()
+
+    def outcome(self, benchmark: str, mechanism_name: str) -> BenchmarkOutcome:
+        return self._index[(benchmark, mechanism_name)]
+
+    def ipc(self, benchmark: str, mechanism_name: str) -> float:
+        return self.outcome(benchmark, mechanism_name).ipc
+
+    def speedup(
+        self,
+        benchmark: str,
+        mechanism_name: str,
+        baseline_name: str = "baseline",
+    ) -> float:
+        """Relative speedup of *mechanism_name* over *baseline_name*."""
+        base = self.outcome(benchmark, baseline_name).ipc
+        if base <= 0:
+            return 0.0
+        return self.outcome(benchmark, mechanism_name).ipc / base - 1.0
+
+    # ------------------------------------------------------------------
+    # Identity and serialisation
+    # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Content digest over every cell's statistics.
+
+        Two runs of the same spec — legacy runner or Session, sequential
+        or parallel, cold or memoised — must produce the same digest;
+        the golden tests pin this against the legacy bench path.  Host
+        metadata and the store configuration never participate.
+        """
+        payload = json.dumps(
+            sorted(
+                (cell.benchmark, cell.mechanism, cell.seed,
+                 dataclasses.asdict(cell.stats))
+                for cell in self.cells
+            ),
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "fingerprint": self.fingerprint,
+            "digest": self.digest(),
+            "spec": self.spec.to_dict(),
+            "meta": dict(self.meta),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        fmt = payload.get("format")
+        if not isinstance(fmt, int) or fmt > FORMAT:
+            raise ValueError(
+                f"artifact format {fmt!r} is newer than this build "
+                f"understands (max {FORMAT})"
+            )
+        spec = ExperimentSpec.from_dict(payload["spec"])
+        result = cls(
+            spec=spec,
+            cells=[CellResult.from_dict(c) for c in payload["cells"]],
+            fingerprint=payload["fingerprint"],
+            format=fmt,
+            meta=dict(payload.get("meta", {})),
+        )
+        if result.fingerprint != spec.fingerprint():
+            raise ValueError(
+                "artifact fingerprint does not match its embedded spec "
+                f"({result.fingerprint} vs {spec.fingerprint()}); the "
+                "file was edited or produced by an incompatible build"
+            )
+        recorded = payload.get("digest")
+        if recorded is None:
+            # Optional would be a bypass: strip the key, edit the cells.
+            raise ValueError(
+                "artifact has no digest field; refusing to trust its cells"
+            )
+        if recorded != result.digest():
+            raise ValueError(
+                "artifact digest does not match its cells "
+                f"({recorded} vs {result.digest()}); the stats payload "
+                "was altered"
+            )
+        return result
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "RunResult":
+        from pathlib import Path
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

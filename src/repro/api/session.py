@@ -1,0 +1,103 @@
+"""The :class:`Session` facade: specs in, versioned artifacts out.
+
+A session owns the infrastructure — the shared trace store, the
+memoising sweep engine and (through it) the worker pool — and exposes
+exactly one operation: ``run(spec) -> RunResult``.  It routes into the
+existing :class:`~repro.harness.sweep.SweepEngine`, so every guarantee
+that engine gives (interpret once per machine, simulate each unique
+cell once per process, deterministic parallel merge) holds unchanged
+and the stats are bit-identical to the legacy
+:class:`~repro.harness.runner.ExperimentRunner` path.
+"""
+
+from __future__ import annotations
+
+from repro.api.result import CellResult, RunResult
+from repro.api.spec import ExperimentSpec, StoreSpec
+from repro.harness.sweep import SweepEngine, shared_engine
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.simulator import Simulator
+from repro.workloads.store import TraceStore
+
+
+class Session:
+    """Owns the engine/store; runs :class:`ExperimentSpec` values.
+
+    The default session shares the process-wide engine (and with it the
+    persistent trace store and cell memo) with every other default
+    session, bench and example in the process.  Pass a
+    :class:`StoreSpec` or a non-default :class:`CoreConfig` to get a
+    private engine instead — e.g. a throwaway store root in tests.
+    """
+
+    def __init__(
+        self,
+        store: StoreSpec | None = None,
+        core_config: CoreConfig | None = None,
+        engine: SweepEngine | None = None,
+    ) -> None:
+        if engine is not None:
+            if store is not None:
+                raise ValueError("pass a store spec or an engine, not both")
+            self.engine = engine
+        elif store is None:
+            self.engine = shared_engine(core_config)
+        else:
+            root = store.resolve_root()
+            self.engine = SweepEngine(simulator=Simulator(
+                core_config,
+                trace_store=TraceStore(root) if root is not None else None,
+                columnar=store.columnar,
+            ))
+        self.simulator = self.engine.simulator
+
+    @classmethod
+    def for_spec(cls, spec: ExperimentSpec,
+                 core_config: CoreConfig | None = None) -> "Session":
+        """A session honouring *spec*'s store configuration.
+
+        The shared engine is used only when the spec's store agrees
+        with what the environment resolves to anyway — then sharing is
+        observationally equivalent and buys the cross-run memo.  Any
+        disagreement (an explicit path, a pinned ``columnar`` that the
+        environment contradicts) gets a private engine with the spec's
+        settings, so an explicit spec always wins over ambient state.
+        (One documented exception: ``path=None`` means "the default
+        cache location" and resolves through the environment, so a
+        process that disabled persistence is never forced to write the
+        user's cache — see :meth:`StoreSpec.resolve_root`.)
+        """
+        if spec.store == StoreSpec() and StoreSpec.from_env() == spec.store:
+            return cls(core_config=core_config)
+        return cls(store=spec.store, core_config=core_config)
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Execute every cell of *spec* and return the artifact.
+
+        The spec is fully resolved — the environment is never consulted
+        here — so the recorded window/sampling/seeds are exactly what
+        ran, and running the same spec twice (or on another session
+        with the same engine state) yields digest-identical artifacts.
+        """
+        swept = self.engine.sweep(
+            list(spec.benchmarks),
+            list(spec.mechanisms),
+            seeds=list(spec.seeds),
+            warmup=spec.window.warmup,
+            measure=spec.window.measure,
+            workers=spec.workers,
+            sampling=spec.sampling,
+        )
+        cells = [
+            CellResult(benchmark, name, result.seed, result.stats)
+            for (benchmark, name), results in swept.items()
+            for result in results
+        ]
+        return RunResult(spec=spec, cells=cells)
+
+
+def run(spec: ExperimentSpec) -> RunResult:
+    """One-shot convenience: build the right session and run *spec*."""
+    return Session.for_spec(spec).run(spec)

@@ -32,11 +32,16 @@ import sys
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.pipeline.config import CoreConfig, MechanismConfig
+from repro.api import env as api_env
+from repro.api.spec import default_mechanisms
+from repro.pipeline.config import (
+    MECHANISM_PRESETS,
+    CoreConfig,
+    MechanismConfig,
+)
 from repro.pipeline.core import Pipeline
 from repro.pipeline.simulator import (
     _TRACE_SLACK,  # match Simulator.run_benchmark's trace sizing exactly
-    default_windows,
 )
 from repro.sampling import SampledRun, SamplingConfig
 
@@ -48,27 +53,10 @@ DEFAULT_BENCHMARKS: tuple[str, ...] = (
     "xalancbmk", "gamess", "lbm", "hmmer",
 )
 
-#: Mechanism presets addressable from the CLI.
-MECHANISM_PRESETS = {
-    "baseline": MechanismConfig.baseline,
-    "zero_pred": MechanismConfig.zero_prediction,
-    "move_elim": MechanismConfig.move_elimination,
-    "rsep": MechanismConfig.rsep_ideal,
-    "vpred": MechanismConfig.value_prediction,
-    "rsep+vpred": MechanismConfig.rsep_plus_vp,
-    "rsep-realistic": MechanismConfig.rsep_realistic,
-}
-
 
 def mechanism_by_name(name: str) -> MechanismConfig:
     """Resolve a CLI mechanism name to its preset config."""
-    try:
-        return MECHANISM_PRESETS[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown mechanism {name!r}; choose from "
-            f"{sorted(MECHANISM_PRESETS)}"
-        ) from None
+    return MechanismConfig.preset(name)
 
 
 @dataclass
@@ -131,11 +119,9 @@ def measure_throughput(
     instructions — which is the subsystem's effective throughput.
     """
     if mechanisms is None:
-        mechanisms = [
-            MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
-        ]
+        mechanisms = list(default_mechanisms())
     if warmup is None or measure is None:
-        default_warmup, default_measure = default_windows()
+        default_warmup, default_measure = api_env.window_from_env()
         warmup = default_warmup if warmup is None else warmup
         measure = default_measure if measure is None else measure
     if repeats <= 0:
@@ -226,6 +212,63 @@ def render_report(report: PerfReport) -> str:
     return "\n".join(lines)
 
 
+#: CI fails when smoke KIPS drops below this fraction of the recorded
+#: reference (>30% regression).  Single source of truth for the gate —
+#: the recorded ``smoke.tolerance`` in BENCH_perf.json overrides it.
+SMOKE_TOLERANCE = 0.70
+
+
+def throughput_smoke(json_path, repeats: int = 3) -> int:
+    """CI regression gate: re-measure the recorded smoke cell.
+
+    Reads the ``smoke`` section of a committed ``BENCH_perf.json``
+    (written by ``benchmarks/bench_perf_throughput.py``), re-measures
+    that cell and fails (non-zero) when any mechanism's aggregate KIPS
+    drops below ``tolerance`` of the recorded reference.  Lives here —
+    not in the bench script — so the installed ``repro perf --smoke``
+    entry point can run it without the repository checkout layout.
+    """
+    from pathlib import Path
+
+    json_path = Path(json_path)
+    if not json_path.exists():
+        print(f"no {json_path}: run benchmarks/bench_perf_throughput.py "
+              "once to record the smoke reference", file=sys.stderr)
+        return 2
+    recorded = json.loads(json_path.read_text(encoding="utf-8"))
+    smoke_ref = recorded.get("smoke")
+    if not smoke_ref:
+        print(f"{json_path} has no smoke section; re-run the full "
+              "throughput bench", file=sys.stderr)
+        return 2
+
+    report = measure_throughput(
+        benchmarks=(smoke_ref["benchmark"],),
+        mechanisms=list(default_mechanisms()),
+        warmup=smoke_ref["warmup"],
+        measure=smoke_ref["measure"],
+        repeats=repeats,
+    )
+    print(render_report(report))
+    tolerance = smoke_ref.get("tolerance", SMOKE_TOLERANCE)
+    failed = False
+    for name, reference in smoke_ref["aggregate_kips"].items():
+        current = report.aggregate_kips.get(name)
+        if current is None:
+            continue
+        floor = reference * tolerance
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(f"smoke {name}: {current:.1f} KIPS vs recorded "
+              f"{reference:.1f} (floor {floor:.1f}) -> {verdict}")
+        if current < floor:
+            failed = True
+    if failed:
+        print("smoke throughput regressed more than "
+              f"{(1 - tolerance) * 100:.0f}% — failing", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness.perf",
@@ -268,7 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         from dataclasses import replace
 
         sampling = replace(
-            SamplingConfig.from_environment(), enabled=True,
+            api_env.sampling_from_env(), enabled=True,
         )
         if args.interval is not None:
             sampling = replace(sampling, interval=args.interval)

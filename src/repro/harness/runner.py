@@ -21,9 +21,9 @@ order, so results are byte-identical to a sequential sweep.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
+from repro.api import env as api_env
 from repro.harness.reporting import harmonic_mean
 from repro.harness.sweep import SweepEngine, shared_engine
 from repro.pipeline.config import CoreConfig, MechanismConfig
@@ -34,9 +34,13 @@ from repro.workloads.spec2006 import benchmark_names
 
 
 def default_seeds() -> list[int]:
-    """Checkpoint seeds (paper: 10 checkpoints; default here: 1, scalable
-    through the REPRO_SEEDS environment variable)."""
-    return list(range(1, int(os.environ.get("REPRO_SEEDS", "1")) + 1))
+    """Deprecated: use :func:`repro.api.env.seeds_from_env` (or better,
+    :class:`repro.api.ExperimentSpec`'s ``seeds`` field)."""
+    api_env.deprecated(
+        "repro.harness.runner.default_seeds",
+        "repro.api.env.seeds_from_env",
+    )
+    return api_env.seeds_from_env()
 
 
 @dataclass
@@ -88,11 +92,19 @@ class ExperimentRunner:
         self.engine = engine or shared_engine(core_config)
         self.simulator = self.engine.simulator
         self.benchmarks = benchmarks or benchmark_names()
-        self.seeds = seeds or default_seeds()
-        self.warmup = warmup
-        self.measure = measure
-        #: ``None`` follows the environment (REPRO_SAMPLING and friends).
-        self.sampling = sampling
+        self.seeds = seeds or api_env.seeds_from_env()
+        # Environment defaults resolve HERE, once: a runner constructed
+        # with warmup/measure/sampling of None used to re-read the
+        # environment at every run() call, so a mid-process env change
+        # could silently split one experiment across two windows.  The
+        # resolved values are pinned for the runner's lifetime (the new
+        # spec API records them in the result artifact).
+        default_warmup, default_measure = api_env.window_from_env()
+        self.warmup = default_warmup if warmup is None else warmup
+        self.measure = default_measure if measure is None else measure
+        self.sampling = (
+            api_env.sampling_from_env() if sampling is None else sampling
+        )
         self._cells: dict[tuple[str, str], BenchmarkOutcome] = {}
 
     # ------------------------------------------------------------------

@@ -35,14 +35,10 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
-import os
 
+from repro.api import env as api_env
 from repro.pipeline.config import CoreConfig, MechanismConfig
-from repro.pipeline.simulator import (
-    SimulationResult,
-    Simulator,
-    default_windows,
-)
+from repro.pipeline.simulator import SimulationResult, Simulator
 from repro.sampling import SamplingConfig
 
 #: Cell key: (benchmark, seed, warmup, measure, mechanism fingerprint,
@@ -61,16 +57,13 @@ def mechanism_fingerprint(mechanism: MechanismConfig) -> str:
 
 
 def default_workers() -> int:
-    """Worker processes when a sweep does not say: ``REPRO_WORKERS`` or 1.
-
-    Parallelism stays opt-in (explicit ``workers=`` or the environment
-    variable) — results are identical either way, but implicit fan-out
-    would surprise profiling and CI-timing assumptions.
-    """
-    configured = os.environ.get("REPRO_WORKERS")
-    if configured:
-        return max(1, int(configured))
-    return 1
+    """Deprecated: use :func:`repro.api.env.workers_from_env` (or better,
+    :class:`repro.api.ExperimentSpec`'s ``workers`` field)."""
+    api_env.deprecated(
+        "repro.harness.sweep.default_workers",
+        "repro.api.env.workers_from_env",
+    )
+    return api_env.workers_from_env()
 
 
 def _copy_result(
@@ -133,7 +126,7 @@ class SweepEngine:
             return sampling
         if self.sampling is not None:
             return self.sampling
-        return SamplingConfig.from_environment()
+        return api_env.sampling_from_env()
 
     def _key(
         self, benchmark: str, mechanism: MechanismConfig, seed: int,
@@ -141,7 +134,7 @@ class SweepEngine:
         sampling: SamplingConfig,
     ) -> CellKey:
         if warmup is None or measure is None:
-            default_warmup, default_measure = default_windows()
+            default_warmup, default_measure = api_env.window_from_env()
             warmup = default_warmup if warmup is None else warmup
             measure = default_measure if measure is None else measure
         return (
@@ -193,7 +186,7 @@ class SweepEngine:
         """
         seeds = seeds or [1]
         if workers is None:
-            workers = default_workers()
+            workers = api_env.workers_from_env()
         sampling = self._resolve_sampling(sampling)
         prefilled: set[CellKey] = set()
         if workers > 1:

@@ -142,6 +142,17 @@ class MechanismConfig:
     def with_rsep(self, rsep: RsepConfig, name: str | None = None):
         return replace(self, rsep=rsep, name=name or self.name)
 
+    @classmethod
+    def preset(cls, name: str) -> "MechanismConfig":
+        """Resolve a CLI/spec preset name to its configuration."""
+        try:
+            return MECHANISM_PRESETS[name]()
+        except KeyError:
+            raise KeyError(
+                f"unknown mechanism {name!r}; choose from "
+                f"{sorted(MECHANISM_PRESETS)}"
+            ) from None
+
     def fingerprint(self) -> str:
         """Content fingerprint of this configuration.
 
@@ -152,3 +163,16 @@ class MechanismConfig:
         keys.
         """
         return repr(replace(self, name=""))
+
+
+#: Mechanism presets addressable by name from CLIs and specs — one per
+#: bar of Fig. 4 plus the Fig. 7 realistic configuration.
+MECHANISM_PRESETS = {
+    "baseline": MechanismConfig.baseline,
+    "zero_pred": MechanismConfig.zero_prediction,
+    "move_elim": MechanismConfig.move_elimination,
+    "rsep": MechanismConfig.rsep_ideal,
+    "vpred": MechanismConfig.value_prediction,
+    "rsep+vpred": MechanismConfig.rsep_plus_vp,
+    "rsep-realistic": MechanismConfig.rsep_realistic,
+}

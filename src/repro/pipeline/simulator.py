@@ -3,15 +3,16 @@
 Mirrors the paper's methodology (§V): per benchmark, several checkpoints
 (seeds), warm-up then measurement, IPC reported per seed and aggregated
 with the harmonic mean.  Window sizes default to laptop-scale values and
-honour the ``REPRO_WARMUP`` / ``REPRO_MEASURE`` / ``REPRO_SCALE``
-environment variables (see DESIGN.md §2 on window scaling).
+follow the environment through :mod:`repro.api.env` (the single
+``REPRO_*`` front door; see DESIGN.md §2 on window scaling and §10 on
+the API layering).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
+from repro.api import env as api_env
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.stats import Stats
@@ -39,11 +40,13 @@ _DEFAULT_STORE = object()
 
 
 def default_windows() -> tuple[int, int]:
-    """(warmup, measure) instruction counts after env scaling."""
-    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
-    warmup = int(os.environ.get("REPRO_WARMUP", "8000"))
-    measure = int(os.environ.get("REPRO_MEASURE", "20000"))
-    return max(256, int(warmup * scale)), max(512, int(measure * scale))
+    """Deprecated: use :func:`repro.api.env.window_from_env` (or better,
+    resolve once into a :class:`repro.api.WindowSpec`)."""
+    api_env.deprecated(
+        "repro.pipeline.simulator.default_windows",
+        "repro.api.env.window_from_env",
+    )
+    return api_env.window_from_env()
 
 
 @dataclass
@@ -74,6 +77,7 @@ class Simulator:
         self,
         core_config: CoreConfig | None = None,
         trace_store: TraceStore | None = _DEFAULT_STORE,  # type: ignore
+        columnar: bool | None = None,
     ) -> None:
         self.core_config = core_config or CoreConfig()
         self.trace_store = (
@@ -81,6 +85,12 @@ class Simulator:
             if trace_store is _DEFAULT_STORE
             else trace_store
         )
+        #: Trace-plane selection: ``None`` follows the environment
+        #: (``REPRO_COLUMNAR``); an explicit bool (from a
+        #: :class:`~repro.api.spec.StoreSpec`) pins it for this
+        #: simulator.  Either plane yields bit-identical stats
+        #: (tests/test_columnar_equivalence.py).
+        self.columnar = columnar
         # (benchmark, seed, version) -> (trace, budget it was built for).
         # The workload-code version is part of the key so editing e.g.
         # workloads/kernels.py mid-process can never serve a stale trace.
@@ -113,23 +123,28 @@ class Simulator:
             trace, covered = entry
             if instructions <= covered or len(trace) < covered:
                 return trace
+        columnar = (
+            columnar_enabled() if self.columnar is None else self.columnar
+        )
         store = self.trace_store
         if store is not None:
-            stored = store.load(benchmark, seed, instructions, version)
+            stored = store.load(
+                benchmark, seed, instructions, version, columnar=columnar
+            )
             if stored is not None:
                 self._trace_cache[key] = stored
                 return stored[0]
         built = build_benchmark(benchmark, seed)
         trace = execute(built.program, instructions, built.machine())
-        if columnar_enabled():
+        if columnar:
             payload = pack_trace(trace, instructions)
-            columnar = ColumnarTrace.from_payload(payload)
+            packed = ColumnarTrace.from_payload(payload)
             # Seed the row cache with the freshly interpreted objects:
             # they are field-identical to decoded rows (pinned by the
             # codec property suite), so the first cold run never
             # re-materialises what the interpreter just built.
-            columnar.rows[:] = trace.instructions
-            trace = columnar
+            packed.rows[:] = trace.instructions
+            trace = packed
             if store is not None:
                 store.save_payload(payload, benchmark, seed, version)
         elif store is not None:
@@ -154,11 +169,11 @@ class Simulator:
         takes the plain full-detail path unchanged.
         """
         if warmup is None or measure is None:
-            default_warm, default_measure = default_windows()
+            default_warm, default_measure = api_env.window_from_env()
             warmup = default_warm if warmup is None else warmup
             measure = default_measure if measure is None else measure
         if sampling is None:
-            sampling = SamplingConfig.from_environment()
+            sampling = api_env.sampling_from_env()
         if sampling.active:
             return self._run_sampled(
                 benchmark, mechanisms, warmup, measure, seed, sampling

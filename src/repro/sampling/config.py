@@ -27,11 +27,7 @@ the golden-stats suite gates the controller's chunked loop directly).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
-
-#: Values of ``REPRO_SAMPLING`` that leave sampling disabled.
-_OFF_VALUES = ("", "0", "off", "none", "false", "disabled")
 
 
 @dataclass(frozen=True)
@@ -118,12 +114,12 @@ class SamplingConfig:
 
     @classmethod
     def from_environment(cls) -> "SamplingConfig":
-        """Resolve REPRO_SAMPLING / REPRO_INTERVAL / REPRO_DETAIL_RATIO."""
-        raw = os.environ.get("REPRO_SAMPLING", "")
-        enabled = raw.strip().lower() not in _OFF_VALUES
-        return cls(
-            enabled=enabled,
-            interval=int(os.environ.get("REPRO_INTERVAL", "18500")),
-            detail_ratio=float(os.environ.get("REPRO_DETAIL_RATIO", "0.0811")),
-            detail_warmup=int(os.environ.get("REPRO_DETAIL_WARMUP", "768")),
+        """Deprecated: use :func:`repro.api.env.sampling_from_env` (or
+        better, build the config explicitly in a spec)."""
+        from repro.api import env as api_env
+
+        api_env.deprecated(
+            "SamplingConfig.from_environment",
+            "repro.api.env.sampling_from_env",
         )
+        return api_env.sampling_from_env()

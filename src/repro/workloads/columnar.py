@@ -40,7 +40,6 @@ Invariants the equivalence suite relies on:
 
 from __future__ import annotations
 
-import os
 from array import array
 
 from repro.common.bitops import LINE_SHIFT
@@ -72,12 +71,14 @@ def columnar_enabled() -> bool:
 
     Defaults to on.  ``REPRO_COLUMNAR=0`` (or ``off``/``no``/``false``)
     selects the legacy eager-``DynInst`` trace path — kept alive as the
-    differential-testing oracle, not as a supported fast path.
+    differential-testing oracle, not as a supported fast path.  The
+    environment read lives in :mod:`repro.api.env` (the single
+    ``REPRO_*`` front door); prefer pinning the plane explicitly through
+    :class:`repro.api.StoreSpec`.
     """
-    configured = os.environ.get("REPRO_COLUMNAR")
-    if configured is None:
-        return True
-    return configured.strip().lower() not in ("0", "off", "no", "false", "")
+    from repro.api.env import columnar_from_env
+
+    return columnar_from_env()
 
 
 def _opcode_statics() -> list[tuple]:

@@ -94,6 +94,22 @@ def benchmark_names(suite: str | None = None) -> list[str]:
     ]
 
 
+#: The representative subset the figure benches and CLI default to:
+#: every behaviour class the paper discusses — RSEP wins (mcf, hmmer,
+#: dealII, omnetpp), VP wins (perlbench, wrf, zeusmp), overlap
+#: (libquantum, xalancbmk), zero/ILP (gamess), neutral (gobmk, lbm),
+#: FP streaming (bwaves).
+REPRESENTATIVE: tuple[str, ...] = (
+    "perlbench", "mcf", "gobmk", "hmmer", "libquantum", "omnetpp",
+    "xalancbmk", "bwaves", "gamess", "zeusmp", "dealII", "lbm", "wrf",
+)
+
+
+def representative_names() -> list[str]:
+    """The 13-benchmark representative mix (see :data:`REPRESENTATIVE`)."""
+    return list(REPRESENTATIVE)
+
+
 # ---------------------------------------------------------------------------
 # Benchmark recipes
 # ---------------------------------------------------------------------------

@@ -117,15 +117,15 @@ def workload_code_version() -> str:
 
 
 def default_store_root() -> Path | None:
-    """Store directory from the environment (``None`` = disabled)."""
-    configured = os.environ.get("REPRO_TRACE_STORE")
-    if configured is not None:
-        if configured.strip().lower() in ("", "0", "off", "none", "disabled"):
-            return None
-        return Path(configured)
-    cache_home = os.environ.get("XDG_CACHE_HOME")
-    base = Path(cache_home) if cache_home else Path.home() / ".cache"
-    return base / "repro" / "traces"
+    """Deprecated: use :func:`repro.api.env.store_root_from_env` (or
+    better, a :class:`repro.api.StoreSpec`)."""
+    from repro.api import env as api_env
+
+    api_env.deprecated(
+        "repro.workloads.store.default_store_root",
+        "repro.api.env.store_root_from_env",
+    )
+    return api_env.store_root_from_env()
 
 
 class TraceStore:
@@ -145,7 +145,9 @@ class TraceStore:
     @classmethod
     def from_environment(cls) -> "TraceStore | None":
         """The default store, or ``None`` when persistence is disabled."""
-        root = default_store_root()
+        from repro.api.env import store_root_from_env
+
+        root = store_root_from_env()
         return cls(root) if root is not None else None
 
     # ------------------------------------------------------------------
@@ -164,7 +166,8 @@ class TraceStore:
         return self.root / f"{safe}-s{seed}-{digest}.trace"
 
     def load(
-        self, benchmark: str, seed: int, instructions: int, version: str
+        self, benchmark: str, seed: int, instructions: int, version: str,
+        columnar: bool | None = None,
     ) -> "tuple[Trace | ColumnarTrace, int] | None":
         """Return ``(trace, budget)`` if a stored trace covers the request.
 
@@ -178,14 +181,19 @@ class TraceStore:
         packed payload — zero per-instruction decode work at load; rows
         materialise lazily as the pipeline fetches them.  With
         ``REPRO_COLUMNAR=0`` the legacy eager-``DynInst`` decode runs
-        instead (the differential-testing oracle).  Both constructors
-        validate the payload, so corruption is a miss on either path.
+        instead (the differential-testing oracle).  An explicit
+        ``columnar`` argument (a :class:`~repro.api.spec.StoreSpec`
+        threading through the simulator) overrides the environment.
+        Both constructors validate the payload, so corruption is a miss
+        on either path.
         """
+        if columnar is None:
+            columnar = columnar_enabled()
         path = self.path_for(benchmark, seed, version)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-            if columnar_enabled():
+            if columnar:
                 trace = ColumnarTrace.from_payload(payload)
                 budget = payload["budget"]
                 if not isinstance(budget, int):

@@ -1,12 +1,12 @@
-"""Smoke tests for the console entry points (``repro-sweep`` /
-``repro-perf``).
+"""Smoke tests for the console entry points.
 
-PR 3 added the ``console_scripts`` wrappers in ``setup.py``; until now
-only the underlying modules were exercised.  These tests invoke the
-``main([...])`` functions exactly as the installed scripts do — with
-``--smoke``-class arguments kept small enough for CI — and pin the
-``setup.py`` declarations to real import targets so a rename can never
-ship a broken script.
+PR 5 made ``repro`` (repro.api.cli) the single front door; the PR 3
+``repro-sweep`` / ``repro-perf`` scripts survive as deprecated aliases.
+These tests invoke the ``main([...])`` functions exactly as the
+installed scripts do — with ``--smoke``-class arguments kept small
+enough for CI — and pin the ``setup.py`` declarations to real import
+targets so a rename can never ship a broken script.  (The ``repro``
+subcommands themselves are covered in ``tests/test_api.py``.)
 """
 
 from __future__ import annotations
@@ -30,11 +30,23 @@ class TestConsoleScriptDeclarations:
 
     def test_declared_targets_resolve(self):
         declared = self._declared_entry_points()
-        assert set(declared) == {"repro-sweep", "repro-perf"}
+        assert set(declared) == {"repro", "repro-sweep", "repro-perf"}
         for name, (module_name, func_name) in declared.items():
             module = importlib.import_module(module_name)
             target = getattr(module, func_name)
             assert callable(target), name
+
+    def test_deprecated_aliases_note_and_delegate(self, capsys):
+        from repro.api.cli import perf_alias_main, sweep_alias_main
+
+        assert sweep_alias_main([]) == 2  # harness.sweep help path
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--smoke" in captured.out
+
+        with pytest.raises(SystemExit):
+            perf_alias_main(["--mechanism", "nope"])
+        assert "deprecated" in capsys.readouterr().err
 
 
 class TestPerfCli:

@@ -78,18 +78,23 @@ class TestSamplingConfig:
             SamplingConfig(detail_warmup=-1)
 
     def test_from_environment(self, monkeypatch):
-        assert not SamplingConfig.from_environment().enabled
+        from repro.api.env import sampling_from_env
+
+        assert not sampling_from_env().enabled
         monkeypatch.setenv("REPRO_SAMPLING", "1")
         monkeypatch.setenv("REPRO_INTERVAL", "3000")
         monkeypatch.setenv("REPRO_DETAIL_RATIO", "0.2")
         monkeypatch.setenv("REPRO_DETAIL_WARMUP", "64")
-        config = SamplingConfig.from_environment()
+        config = sampling_from_env()
         assert config.enabled and config.active
         assert config.interval == 3000
         assert config.detail_span == 600
         assert config.detail_warmup == 64
         monkeypatch.setenv("REPRO_SAMPLING", "off")
-        assert not SamplingConfig.from_environment().enabled
+        assert not sampling_from_env().enabled
+        # The legacy classmethod survives as a deprecation shim.
+        with pytest.deprecated_call():
+            assert SamplingConfig.from_environment() == sampling_from_env()
 
 
 class TestDegenerateBitIdentity:
