@@ -7,6 +7,7 @@ Subcommands::
     repro figures  regenerate the paper's figures from declarative specs
     repro report   render a stored RunResult artifact
     repro inspect  show an artifact's provenance, or the environment overlay
+    repro serve    sweep service on a local socket: spec JSON in, artifact out
 
 Every run subcommand builds an :class:`~repro.api.spec.ExperimentSpec`
 through the one environment overlay (explicit flag beats ``REPRO_*``
@@ -49,14 +50,27 @@ def _render_result(result: RunResult) -> str:
     table = Table(headers)
     for benchmark in result.benchmarks:
         for name in result.mechanism_names():
-            outcome = result.outcome(benchmark, name)
+            try:
+                outcome = result.outcome(benchmark, name)
+            except KeyError:
+                # A quarantined shard's hole in a partial sharded result.
+                row = [benchmark, name, "(hole)"]
+                if have_baseline:
+                    row.append("-")
+                table.add_row(*row)
+                continue
             row = [benchmark, name, format_ipc(outcome.merged_stats[0])
                    if len(outcome.results) == 1 else f"{outcome.ipc:.3f}"]
             if have_baseline:
-                row.append(
-                    "-" if name == "baseline"
-                    else f"{100 * result.speedup(benchmark, name):+.1f}%"
-                )
+                speedup = "-"
+                if name != "baseline":
+                    try:
+                        speedup = (
+                            f"{100 * result.speedup(benchmark, name):+.1f}%"
+                        )
+                    except KeyError:
+                        speedup = "(hole)"
+                row.append(speedup)
             table.add_row(*row)
     return table.render()
 
@@ -81,6 +95,7 @@ def _spec_summary(spec: ExperimentSpec) -> str:
            else (spec.store.path or "default cache"))
         + f", columnar {'on' if spec.store.columnar else 'off'}",
         f"workers     : {spec.workers}",
+        f"shards      : {spec.shards if spec.shards > 1 else 'in-process'}",
         f"cells       : {spec.cells}",
     ])
 
@@ -111,6 +126,12 @@ def _cmd_sweep(args) -> int:
             print("repro sweep --smoke runs a fixed gate; it cannot take "
                   f"{', '.join(ignored)}", file=sys.stderr)
             return 2
+        if args.shards is not None:
+            # The sharded-service gate: a fault-injected sharded run
+            # (REPRO_FAULTS) must merge digest-identical to in-process.
+            from repro.service.smoke import sharded_smoke
+
+            return sharded_smoke(shards=args.shards)
         from repro.harness import sweep as sweep_module
 
         smoke_args = ["--smoke"] + (["--sampled"] if args.sampled else [])
@@ -129,18 +150,36 @@ def _cmd_sweep(args) -> int:
             measure=args.measure,
             sampling=sampling,
             workers=args.workers,
+            shards=args.shards,
         )
     except (TypeError, ValueError) as error:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
     print(_spec_summary(spec))
-    result = Session.for_spec(spec).run(spec)
+    session = Session.for_spec(spec)
+    holes = ()
+    if spec.shards > 1:
+        outcome = session.run_sharded(spec)
+        result, holes = outcome.result, outcome.holes
+        print(f"\nsharded over {len(outcome.attempts)} shard(s), "
+              f"{sum(outcome.attempts.values())} attempt(s), mode "
+              f"{outcome.mode}")
+        for line in outcome.failures:
+            print(f"  fault survived: {line}", file=sys.stderr)
+    else:
+        result = session.run(spec)
     print()
     print(_render_result(result))
+    if holes:
+        print(f"\nPARTIAL RESULT: {len(holes)} cell(s) lost to "
+              "quarantined shards:", file=sys.stderr)
+        for benchmark, mechanism, seed in holes:
+            print(f"  hole: {benchmark} × {mechanism} × seed {seed}",
+                  file=sys.stderr)
     if args.json:
         result.save(args.json)
         print(f"\nwrote {args.json} (digest {result.digest()})")
-    return 0
+    return 1 if holes else 0
 
 
 def _cmd_perf(args, passthrough: list[str]) -> int:
@@ -265,6 +304,26 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import SweepServer
+    from repro.service.supervisor import ShardSupervisor
+
+    supervisor = ShardSupervisor(deadline=args.timeout)
+    server = SweepServer(
+        args.socket, supervisor=supervisor, shards=args.shards
+    )
+    print(f"repro serve: listening on {args.socket} "
+          f"(shards default: {args.shards if args.shards is not None else 'per spec'})")
+    try:
+        asyncio.run(server.serve(once=args.once))
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    print(f"repro serve: {server.requests_served} request(s) served")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -304,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measured instructions (default: REPRO_MEASURE)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="sweep worker processes (default: REPRO_WORKERS)")
+    sweep.add_argument("--shards", type=int, default=None,
+                       help="fault-tolerant sharded service shard count "
+                       "(default: REPRO_SHARDS; 0/1 = in-process); with "
+                       "--smoke: run the fault-injected sharded gate")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the RunResult artifact to PATH")
 
@@ -348,6 +411,22 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="ARTIFACT",
                          help="artifact to inspect (default: show the "
                          "resolved environment overlay)")
+
+    serve = sub.add_parser(
+        "serve", help="sweep service on a local Unix socket "
+        "(spec JSON in, digest-verified artifact out)"
+    )
+    serve.add_argument("--socket", metavar="PATH", default="repro.sock",
+                       help="Unix socket path to listen on "
+                       "(default: ./repro.sock)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="server-side default shard count (a request's "
+                       "explicit value wins; default: each spec's own)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-shard deadline in seconds "
+                       "(default: REPRO_SHARD_TIMEOUT)")
+    serve.add_argument("--once", action="store_true",
+                       help="serve a single request, then exit")
     return parser
 
 
@@ -374,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_inspect(args)
 
 

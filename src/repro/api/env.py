@@ -64,6 +64,18 @@ KNOWN_VARS: dict[str, tuple[str, str]] = {
     "REPRO_WORKERS": (
         "ExperimentSpec.workers", "parallel sweep workers (default 1)"
     ),
+    "REPRO_SHARDS": (
+        "ExperimentSpec.shards",
+        "sharded sweep shard count (0 = in-process, default 0)",
+    ),
+    "REPRO_FAULTS": (
+        "service.ShardSupervisor fault plan",
+        "deterministic shard fault injection, e.g. 'crash:0,corrupt:1'",
+    ),
+    "REPRO_SHARD_TIMEOUT": (
+        "service.ShardSupervisor deadline",
+        "per-shard wall-clock deadline in seconds (default 120)",
+    ),
     "REPRO_FULL": (
         "ExperimentSpec.benchmarks (from_env default)",
         "benches/CLI: all 29 benchmarks instead of the representative 13",
@@ -167,6 +179,45 @@ def workers_from_env() -> int:
     if configured:
         return max(1, int(configured))
     return 1
+
+
+def shards_from_env() -> int:
+    """Sharded-sweep shard count: ``REPRO_SHARDS`` or 0 (in-process).
+
+    Like workers, sharding stays opt-in — 0 (or 1) means the classic
+    in-process :class:`~repro.harness.sweep.SweepEngine` path.
+    """
+    configured = os.environ.get("REPRO_SHARDS")
+    if configured:
+        return max(0, int(configured))
+    return 0
+
+
+def shard_timeout_from_env() -> float:
+    """Per-shard wall-clock deadline in seconds (``REPRO_SHARD_TIMEOUT``).
+
+    A shard attempt that exceeds the deadline is treated as hung: its
+    worker is killed and the shard is re-dispatched (with backoff) up to
+    the supervisor's attempt budget.  The sweep engine's bounded
+    parallel-prefill ``get`` reuses the same deadline.
+    """
+    configured = os.environ.get("REPRO_SHARD_TIMEOUT")
+    if configured:
+        return max(0.1, float(configured))
+    return 120.0
+
+
+def faults_from_env() -> str | None:
+    """The raw ``REPRO_FAULTS`` fault-plan text (``None`` = no faults).
+
+    Parsed by :meth:`repro.service.faults.FaultPlan.parse`; read lazily
+    by the supervisor so the plan travels to worker processes as data,
+    never as ambient environment state.
+    """
+    configured = os.environ.get("REPRO_FAULTS")
+    if configured is None or not configured.strip():
+        return None
+    return configured
 
 
 def columnar_from_env() -> bool:

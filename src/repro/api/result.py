@@ -76,6 +76,25 @@ class CellResult:
         )
 
 
+def cells_digest(cells) -> str:
+    """Content digest over a collection of :class:`CellResult` values.
+
+    The one digest definition shared by full :class:`RunResult`
+    artifacts and the service layer's per-shard artifacts: sorted, so
+    cell order (in-process sweep order, out-of-order shard completion)
+    never changes it.
+    """
+    payload = json.dumps(
+        sorted(
+            (cell.benchmark, cell.mechanism, cell.seed,
+             dataclasses.asdict(cell.stats))
+            for cell in cells
+        ),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 @dataclass
 class RunResult:
     """The versioned artifact of one executed :class:`ExperimentSpec`."""
@@ -143,15 +162,7 @@ class RunResult:
         the golden tests pin this against the legacy bench path.  Host
         metadata and the store configuration never participate.
         """
-        payload = json.dumps(
-            sorted(
-                (cell.benchmark, cell.mechanism, cell.seed,
-                 dataclasses.asdict(cell.stats))
-                for cell in self.cells
-            ),
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return cells_digest(self.cells)
 
     def to_dict(self) -> dict:
         return {
@@ -207,9 +218,16 @@ class RunResult:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> None:
-        from pathlib import Path
+        """Write the artifact crash-safely (temp file + ``os.replace``).
 
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        An interrupted ``repro sweep --json`` / ``repro figures --out``
+        can therefore never leave a half-written artifact that a later
+        ``repro report`` chokes on — the old file (or no file) survives
+        instead.
+        """
+        from repro.common.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "RunResult":

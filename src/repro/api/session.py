@@ -97,6 +97,30 @@ class Session:
         ]
         return RunResult(spec=spec, cells=cells)
 
+    def run_sharded(
+        self,
+        spec: ExperimentSpec,
+        shards: int | None = None,
+        supervisor=None,
+    ):
+        """Execute *spec* through the fault-tolerant sharded service.
+
+        Shards fan out to worker processes under a
+        :class:`~repro.service.supervisor.ShardSupervisor` (deadlines,
+        retry with backoff, reassignment, quarantine — DESIGN.md §11)
+        and merge digest-verified; the returned
+        :class:`~repro.service.supervisor.ShardedSweepResult` is
+        digest-identical to :meth:`run` when complete and carries
+        explicit holes otherwise.  ``shards <= 1`` (and a grid too small
+        to split) degrades gracefully to the in-process engine path.
+        """
+        from repro.service.supervisor import ShardSupervisor
+
+        if supervisor is None:
+            supervisor = ShardSupervisor()
+        count = spec.shards if shards is None else shards
+        return supervisor.run(spec, shards=count)
+
 
 def run(spec: ExperimentSpec) -> RunResult:
     """One-shot convenience: build the right session and run *spec*."""

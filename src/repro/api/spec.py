@@ -113,9 +113,12 @@ class ExperimentSpec:
 
     The grid is ``benchmarks × mechanisms × seeds``; ``window``,
     ``sampling`` and ``store`` parameterise how each cell runs;
-    ``workers`` how cells fan out.  ``Session.run(spec)`` routes the
-    grid into the shared sweep engine, so results are bit-identical to
-    the legacy ``ExperimentRunner`` path.
+    ``workers`` and ``shards`` how cells fan out.  ``Session.run(spec)``
+    routes the grid into the shared sweep engine, so results are
+    bit-identical to the legacy ``ExperimentRunner`` path; ``shards >
+    1`` selects the fault-tolerant sharded service
+    (:meth:`Session.run_sharded`, DESIGN.md §11) whose merged artifact
+    is digest-identical to the in-process run.
     """
 
     benchmarks: tuple[str, ...] = ()
@@ -127,6 +130,10 @@ class ExperimentSpec:
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
     store: StoreSpec = field(default_factory=StoreSpec)
     workers: int = 1
+    #: Sharded-service fan-out; 0 (or 1) = the in-process engine path.
+    #: Like ``workers``, sharding executes without changing any result,
+    #: so it never joins the fingerprint.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         # Normalise list inputs so callers can pass plain lists.  A bare
@@ -160,6 +167,8 @@ class ExperimentSpec:
             raise ValueError("an ExperimentSpec needs at least one seed")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = in-process)")
 
     # ------------------------------------------------------------------
     # Construction
@@ -177,6 +186,7 @@ class ExperimentSpec:
         sampling: SamplingSpec | None = None,
         store: StoreSpec | None = None,
         workers: int | None = None,
+        shards: int | None = None,
         strict: bool = False,
     ) -> "ExperimentSpec":
         """The single environment overlay: explicit beats env beats default.
@@ -221,6 +231,7 @@ class ExperimentSpec:
             else sampling,
             store=StoreSpec.from_env() if store is None else store,
             workers=env.workers_from_env() if workers is None else workers,
+            shards=env.shards_from_env() if shards is None else shards,
         )
 
     # ------------------------------------------------------------------
@@ -230,9 +241,10 @@ class ExperimentSpec:
     def fingerprint(self) -> str:
         """Content fingerprint of everything that determines the stats.
 
-        Mechanism display names, the store configuration and the worker
-        count label or execute the experiment without changing any
-        result (both pinned by the equivalence/determinism suites), so
+        Mechanism display names, the store configuration and the
+        worker/shard counts label or execute the experiment without
+        changing any result (all pinned by the equivalence/determinism
+        suites — the sharded service's merge gate included), so
         none of them participate — two specs with the same fingerprint
         produce bit-identical per-cell statistics.
         """

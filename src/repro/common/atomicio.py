@@ -1,0 +1,64 @@
+"""Crash-safe file writes: temp file + ``os.replace`` (+ ``fsync``).
+
+Every artifact this project persists — packed traces, µarch
+checkpoints, ``RunResult`` JSON, shard artifacts — goes through the same
+dance: write the full payload to a temporary file in the destination
+directory, flush and ``fsync`` it, then ``os.replace`` it over the final
+name.  Readers therefore never observe a partial write (``os.replace``
+is atomic on POSIX within one filesystem), an interrupted writer leaves
+at worst a ``*.tmp`` orphan that is never loaded, and concurrent writers
+race benignly (last complete payload wins).
+
+:class:`~repro.workloads.store.TraceStore` pioneered the pattern; this
+module is the shared implementation so result artifacts and shard spool
+files get the identical guarantee instead of re-growing their own
+half-correct copies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(
+    path: str | os.PathLike, data: bytes, fsync: bool = True
+) -> Path:
+    """Atomically replace *path* with *data*; returns the final path.
+
+    The temporary file lives in *path*'s directory so the final
+    ``os.replace`` never crosses a filesystem boundary.  With *fsync*
+    (the default) the payload is durable before the rename, so a crash
+    can never promote an empty or partially-flushed file to the final
+    name.  Errors propagate — callers that want best-effort semantics
+    (the trace store on a read-only cache) catch ``OSError`` themselves.
+    """
+    path = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: str | os.PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> Path:
+    """:func:`atomic_write_bytes` for text payloads."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)

@@ -233,6 +233,14 @@ class SweepEngine:
         re-simulated and the hit/miss counters stay exact.  Returns the
         keys filled, so the caller can tell a first collection from a
         genuine memo hit.
+
+        Collection is *bounded*: each task's result is awaited with a
+        per-task deadline (``REPRO_SHARD_TIMEOUT``), so a hung pool
+        worker — or one the OS killed, whose ``AsyncResult`` would
+        otherwise never resolve — can no longer stall the sweep forever.
+        A task that times out or errors is re-dispatched in-process (the
+        pool's teardown kills any stuck worker), so the merged cell
+        table is identical to an all-healthy run.
         """
         tasks = []
         task_plan = []
@@ -257,9 +265,29 @@ class SweepEngine:
         filled: set[CellKey] = set()
         if not tasks:
             return filled
+        deadline = api_env.shard_timeout_from_env()
         with multiprocessing.Pool(processes=min(workers, len(tasks))) as pool:
-            per_task = pool.map(_run_cells_task, tasks)
+            pending = [
+                pool.apply_async(_run_cells_task, (task,)) for task in tasks
+            ]
+            per_task = []
+            for handle in pending:
+                try:
+                    per_task.append(handle.get(timeout=deadline))
+                except Exception:  # noqa: BLE001 - timeout, worker death,
+                    # or a worker-raised error; all re-dispatched below,
+                    # where a genuine simulation bug re-raises in-parent.
+                    per_task.append(None)
         for (benchmark, todo), results in zip(task_plan, per_task):
+            if results is None:
+                # Re-dispatch the lost task in-process, deterministically.
+                results = [
+                    self.simulator.run_benchmark(
+                        benchmark, mechanism, warmup=warmup, measure=measure,
+                        seed=seed, sampling=sampling,
+                    )
+                    for mechanism, seed in todo
+                ]
             for (mechanism, seed), result in zip(todo, results):
                 key = self._key(
                     benchmark, mechanism, seed, warmup, measure, sampling

@@ -1,0 +1,34 @@
+"""Fault-tolerant sharded sweep service (DESIGN.md §11).
+
+The service layer turns one :class:`~repro.api.spec.ExperimentSpec` into
+shard specs (:mod:`~repro.service.shards`), fans them out to worker
+processes under an async supervisor with deadlines, retry/backoff,
+reassignment and quarantine (:mod:`~repro.service.supervisor`), and
+merges the digest-verified shard artifacts back into one
+:class:`~repro.api.result.RunResult` that is bit-identical to an
+in-process run.  A deterministic fault-injection plane
+(:mod:`~repro.service.faults`, ``REPRO_FAULTS``) lets tests and the CI
+smoke gate exercise every failure path, and
+:mod:`~repro.service.server` exposes the whole thing over a local
+socket (``repro serve``).
+"""
+
+from repro.service.faults import FaultPlan, FaultPlanError
+from repro.service.shards import (
+    ShardResult,
+    ShardSpec,
+    merge_shards,
+    plan_shards,
+)
+from repro.service.supervisor import ShardedSweepResult, ShardSupervisor
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "ShardResult",
+    "ShardSpec",
+    "ShardSupervisor",
+    "ShardedSweepResult",
+    "merge_shards",
+    "plan_shards",
+]

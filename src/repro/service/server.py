@@ -1,0 +1,159 @@
+"""``repro serve`` — spec JSON in, digest-verified artifact out.
+
+A deliberately small batch service over a local Unix socket: one
+newline-delimited JSON request per connection, one newline-delimited
+JSON response back.
+
+Request::
+
+    {"spec": <ExperimentSpec.to_dict()>, "shards": <int, optional>}
+
+Response::
+
+    {"ok": true, "sharded": <ShardedSweepResult.to_dict()>}
+    {"ok": false, "error": "<reason>"}
+
+The handler routes through the same :class:`ShardSupervisor` the CLI
+uses, so every robustness property — deadlines, retries, reassignment,
+quarantine, in-process degradation — and the digest-verified merge hold
+for served requests too.  A malformed or unserviceable request gets an
+``ok: false`` response; it never kills the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+from pathlib import Path
+
+from repro.api.spec import ExperimentSpec
+from repro.service.supervisor import ShardedSweepResult, ShardSupervisor
+
+#: Stream limit: full-grid specs and multi-hundred-cell artifacts are
+#: far below this, but the asyncio default (64 KiB) is not enough.
+STREAM_LIMIT = 64 * 1024 * 1024
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (carries its reason)."""
+
+
+class SweepServer:
+    """Serve sweep requests on a Unix socket until cancelled."""
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike,
+        supervisor: ShardSupervisor | None = None,
+        shards: int | None = None,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.supervisor = supervisor or ShardSupervisor()
+        #: Server-side default shard count; a request's explicit
+        #: ``shards`` beats it, the spec's own ``shards`` field is the
+        #: final fallback.
+        self.shards = shards
+        self.requests_served = 0
+        self._once_done: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+
+    async def _respond(self, request_text: str) -> dict:
+        try:
+            request = json.loads(request_text)
+            if not isinstance(request, dict) or "spec" not in request:
+                raise ValueError('expected {"spec": {...}, "shards": N}')
+            spec = ExperimentSpec.from_dict(request["spec"])
+            shards = request.get("shards")
+            if shards is None:
+                shards = self.shards if self.shards is not None \
+                    else spec.shards
+            outcome = await self.supervisor.run_async(spec, shards=shards)
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        return {"ok": True, "sharded": outcome.to_dict()}
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if line:
+                response = await self._respond(line.decode("utf-8"))
+                # Counted before the write so a client that has its
+                # response in hand always observes the updated counter.
+                self.requests_served += 1
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - client went away first
+                pass
+            if self._once_done is not None:
+                self._once_done.set()
+
+    # ------------------------------------------------------------------
+
+    async def serve(self, once: bool = False) -> None:
+        """Bind and serve; with *once*, exit after the first request."""
+        # A stale socket file from a crashed server would make bind
+        # fail; it is dead weight by definition (connects would ECONNREFUSED).
+        try:
+            self.socket_path.unlink()
+        except FileNotFoundError:
+            pass
+        self._once_done = asyncio.Event() if once else None
+        server = await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path), limit=STREAM_LIMIT
+        )
+        try:
+            async with server:
+                if self._once_done is not None:
+                    await self._once_done.wait()
+                else:
+                    await server.serve_forever()
+        finally:
+            try:
+                self.socket_path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def request(
+    spec: ExperimentSpec,
+    socket_path: str | os.PathLike,
+    shards: int | None = None,
+    timeout: float = 600.0,
+) -> ShardedSweepResult:
+    """Client helper: run *spec* on the server at *socket_path*.
+
+    Raises :class:`ServiceError` when the server reports a failure and
+    ``OSError``/``socket.timeout`` when it is unreachable; a healthy
+    round trip returns the same :class:`ShardedSweepResult` a local
+    supervisor would have, digest checks re-run on load.
+    """
+    message = {"spec": spec.to_dict()}
+    if shards is not None:
+        message["shards"] = shards
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 20)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    response = json.loads(b"".join(chunks).decode("utf-8"))
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "unknown server error"))
+    return ShardedSweepResult.from_dict(response["sharded"])

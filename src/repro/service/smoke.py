@@ -1,0 +1,78 @@
+"""CI smoke gate for the sharded service: ``repro sweep --smoke --shards N``.
+
+Runs a small fixed sweep twice — once in-process through the classic
+engine path, once sharded under fault injection — and fails unless the
+sharded run (1) actually suffered and survived the injected faults and
+(2) merged to a digest *identical* to the in-process artifact.  The
+fault plan comes from ``REPRO_FAULTS`` (CI injects one worker crash and
+one corrupt artifact) with the same crash+corrupt default when unset, so
+the gate never runs fault-free by accident.
+"""
+
+from __future__ import annotations
+
+from repro.api import env as api_env
+from repro.api.spec import (
+    ExperimentSpec,
+    StoreSpec,
+    WindowSpec,
+    default_mechanisms,
+)
+from repro.service.faults import FaultPlan
+from repro.service.supervisor import ShardSupervisor
+
+#: Injected when ``REPRO_FAULTS`` is unset: first attempts of shard 0
+#: (worker death) and shard 1 (corrupt artifact) fail, retries succeed.
+DEFAULT_FAULTS = "crash:0,corrupt:1"
+
+
+def sharded_smoke(shards: int = 2) -> int:
+    """Gate: a faulted sharded sweep must merge digest-identical."""
+    plan = FaultPlan.parse(api_env.faults_from_env() or DEFAULT_FAULTS)
+    spec = ExperimentSpec(
+        benchmarks=("mcf", "dealII"),
+        mechanisms=default_mechanisms(),
+        window=WindowSpec(warmup=512, measure=2000),
+        store=StoreSpec(enabled=False),
+    )
+    from repro.api.session import Session
+
+    reference = Session.for_spec(spec).run(spec)
+    supervisor = ShardSupervisor(
+        faults=plan, backoff_base=0.01, deadline=120.0
+    )
+    outcome = supervisor.run(spec, shards=shards)
+    if outcome.mode != "sharded":
+        print(f"sharded smoke: expected a sharded run, got {outcome.mode}")
+        return 1
+    if not outcome.complete:
+        print("sharded smoke: holes after retries: "
+              f"{list(outcome.holes)} (failures: {list(outcome.failures)})")
+        return 1
+    faulted = {
+        fault.shard for fault in plan.faults
+        if fault.shard in outcome.attempts
+    }
+    if not faulted:
+        print("sharded smoke: fault plan touched no shard "
+              f"(plan {plan.render()!r}, shards {sorted(outcome.attempts)})")
+        return 1
+    undertried = [
+        shard for shard in faulted if outcome.attempts[shard] < 2
+    ]
+    if undertried:
+        print("sharded smoke: injected faults did not force retries on "
+              f"shard(s) {undertried} (attempts {outcome.attempts})")
+        return 1
+    if outcome.digest() != reference.digest():
+        print("sharded smoke: faulted sharded digest "
+              f"{outcome.digest()} != in-process {reference.digest()}")
+        return 1
+    print(
+        "sharded smoke: survived "
+        f"{plan.render()!r} over {len(outcome.attempts)} shards "
+        f"({sum(outcome.attempts.values())} attempts, "
+        f"{len(outcome.failures)} failures) — merged digest "
+        f"{outcome.digest()} == in-process"
+    )
+    return 0

@@ -1,0 +1,295 @@
+"""The async shard supervisor: the service's robustness core.
+
+Shards go into an :class:`asyncio.Queue`; a bounded set of worker-slot
+coroutines drains it, each attempt running in its own worker *process*
+(one process per attempt, so one shard's death can never take another
+shard's state with it).  The supervisor watches every attempt with a
+wall-clock deadline and classifies the outcome:
+
+* **worker death** (non-zero exit, e.g. OOM-kill or segfault) — the
+  shard is re-enqueued with exponential backoff and picked up by any
+  free slot: reassignment, not restart-the-world;
+* **hang** (deadline exceeded) — the worker is killed, then the same
+  retry path;
+* **corrupt / tampered artifact** (parse failure, digest mismatch,
+  foreign fingerprint, wrong cell set) — rejected at the load boundary
+  and re-executed;
+* **poison shard** (attempt budget exhausted) — quarantined: its cells
+  become explicit holes in the merged result instead of aborting the
+  sweep;
+* **no workers at all** (process spawn fails, or ``max_workers=0``) —
+  graceful degradation to the in-process
+  :class:`~repro.harness.sweep.SweepEngine` path, same digest-verified
+  merge.
+
+Because every cell is deterministic and every artifact digest-verified,
+a merged sharded run — even one that crashed, hung and corrupted its way
+through retries — is bit-identical to an unfaulted in-process run; the
+CI smoke gate (:mod:`repro.service.smoke`) pins exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api import env as api_env
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentSpec
+from repro.service.faults import FaultPlan
+from repro.service.shards import (
+    CellId,
+    ShardResult,
+    ShardSpec,
+    merge_shards,
+    plan_shards,
+)
+from repro.service.worker import execute_shard, shard_process_main
+
+
+@dataclass
+class ShardedSweepResult:
+    """What a sharded sweep returns: the artifact plus its fault story.
+
+    ``result`` carries every cell that completed; ``holes`` explicitly
+    enumerates the (benchmark, mechanism, seed) cells lost to
+    quarantined shards — an incomplete sweep is a *partial result*, not
+    an exception.  ``attempts`` and ``failures`` are the audit trail.
+    """
+
+    result: RunResult
+    holes: tuple[CellId, ...] = ()
+    quarantined: tuple[int, ...] = ()
+    attempts: dict[int, int] = field(default_factory=dict)
+    failures: tuple[str, ...] = ()
+    mode: str = "sharded"
+
+    @property
+    def complete(self) -> bool:
+        return not self.holes
+
+    def digest(self) -> str:
+        return self.result.digest()
+
+    def to_dict(self) -> dict:
+        return {
+            "result": self.result.to_dict(),
+            "holes": [list(hole) for hole in self.holes],
+            "quarantined": list(self.quarantined),
+            "attempts": {str(k): v for k, v in self.attempts.items()},
+            "failures": list(self.failures),
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardedSweepResult":
+        return cls(
+            result=RunResult.from_dict(payload["result"]),
+            holes=tuple(
+                (hole[0], hole[1], hole[2]) for hole in payload["holes"]
+            ),
+            quarantined=tuple(payload["quarantined"]),
+            attempts={int(k): v for k, v in payload["attempts"].items()},
+            failures=tuple(payload["failures"]),
+            mode=payload["mode"],
+        )
+
+
+class ShardSupervisor:
+    """Fans shards out to worker processes and survives their failures."""
+
+    def __init__(
+        self,
+        *,
+        deadline: float | None = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_workers: int | None = None,
+        poll_interval: float = 0.01,
+        faults: FaultPlan | str | None = None,
+    ) -> None:
+        self.deadline = (
+            api_env.shard_timeout_from_env() if deadline is None else deadline
+        )
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Concurrent worker slots; ``None`` = sized per run, ``0`` =
+        #: never spawn processes (forces in-process degradation).
+        self.max_workers = max_workers
+        self.poll_interval = poll_interval
+        if faults is None:
+            faults = FaultPlan.parse(api_env.faults_from_env())
+        elif isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, spec: ExperimentSpec, shards: int | None = None
+    ) -> ShardedSweepResult:
+        """Execute *spec* sharded; blocking front of :meth:`run_async`."""
+        return asyncio.run(self.run_async(spec, shards=shards))
+
+    async def run_async(
+        self, spec: ExperimentSpec, shards: int | None = None
+    ) -> ShardedSweepResult:
+        """Async core, callable from a running loop (``repro serve``)."""
+        count = spec.shards if shards is None else shards
+        if count <= 1 or self.max_workers == 0 or spec.cells < 2:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self._run_in_process, spec
+            )
+        return await self._run_sharded(spec, count)
+
+    # ------------------------------------------------------------------
+
+    def _run_in_process(self, spec: ExperimentSpec) -> ShardedSweepResult:
+        """Degradation ladder's last rung: the classic engine path."""
+        from repro.api.session import Session
+
+        result = Session.for_spec(spec).run(spec)
+        return ShardedSweepResult(result=result, mode="in-process")
+
+    async def _run_sharded(
+        self, spec: ExperimentSpec, count: int
+    ) -> ShardedSweepResult:
+        shard_specs = plan_shards(spec, count)
+        spool = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+        results: dict[int, ShardResult] = {}
+        attempts: dict[int, int] = {s.index: 0 for s in shard_specs}
+        failures: list[str] = []
+        quarantined: list[int] = []
+        queue: asyncio.Queue = asyncio.Queue()
+        for shard in shard_specs:
+            queue.put_nowait((shard, 0))
+        slots = min(len(shard_specs), self.max_workers or 2)
+        outstanding = len(shard_specs)
+        loop = asyncio.get_running_loop()
+
+        def finish_one() -> None:
+            nonlocal outstanding
+            outstanding -= 1
+            if outstanding == 0:
+                for _ in range(slots):
+                    queue.put_nowait(None)
+
+        async def slot() -> None:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                shard, attempt = item
+                attempts[shard.index] = attempt + 1
+                outcome = await self._attempt(shard, attempt, spool)
+                if isinstance(outcome, ShardResult):
+                    results[shard.index] = outcome
+                    finish_one()
+                    continue
+                failures.append(
+                    f"shard {shard.index} attempt {attempt + 1}/"
+                    f"{self.max_attempts}: {outcome}"
+                )
+                if attempt + 1 >= self.max_attempts:
+                    quarantined.append(shard.index)
+                    finish_one()
+                    continue
+                # Exponential backoff, scheduled off-slot so this slot
+                # is immediately free for other shards.
+                delay = min(
+                    self.backoff_cap, self.backoff_base * (2 ** attempt)
+                )
+                loop.call_later(
+                    delay, queue.put_nowait, (shard, attempt + 1)
+                )
+
+        try:
+            await asyncio.gather(*(slot() for _ in range(slots)))
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+        merged, holes = merge_shards(
+            spec, [results[index] for index in sorted(results)]
+        )
+        return ShardedSweepResult(
+            result=merged,
+            holes=holes,
+            quarantined=tuple(sorted(quarantined)),
+            attempts=attempts,
+            failures=tuple(failures),
+            mode="sharded",
+        )
+
+    # ------------------------------------------------------------------
+
+    async def _attempt(
+        self, shard: ShardSpec, attempt: int, spool: Path
+    ) -> ShardResult | str:
+        """One attempt at one shard; a ``str`` return is the failure
+        reason (retriable)."""
+        fault = self.faults.fault_for(shard.index, attempt)
+        out_path = spool / f"shard-{shard.index}-attempt-{attempt}.json"
+        process = multiprocessing.Process(
+            target=shard_process_main,
+            args=(shard.to_json(), str(out_path), fault),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError as error:
+            # Can't spawn workers at all: degrade to executing the shard
+            # inline.  Results stay digest-verified by the merge.
+            del process
+            try:
+                return execute_shard(shard)
+            except Exception as inline_error:  # noqa: BLE001
+                return (
+                    f"no worker process ({error}) and inline execution "
+                    f"failed: {inline_error}"
+                )
+        loop = asyncio.get_running_loop()
+        deadline_at = loop.time() + self.deadline
+        while process.is_alive() and loop.time() < deadline_at:
+            await asyncio.sleep(self.poll_interval)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - SIGTERM sufficed
+                process.kill()
+                process.join(timeout=5.0)
+            return f"deadline exceeded ({self.deadline:g}s); worker killed"
+        process.join()
+        if process.exitcode != 0:
+            return f"worker died (exit code {process.exitcode})"
+        try:
+            text = out_path.read_text(encoding="utf-8")
+        except OSError as error:
+            return f"worker exited cleanly but left no artifact ({error})"
+        try:
+            result = ShardResult.from_json(text)
+        except (ValueError, KeyError, TypeError) as error:
+            return f"shard artifact rejected: {error}"
+        if result.index != shard.index:
+            return (
+                f"artifact is for shard {result.index}, expected "
+                f"{shard.index}"
+            )
+        if result.fingerprint != shard.fingerprint:
+            return (
+                f"artifact fingerprint {result.fingerprint} does not match "
+                f"the spec ({shard.fingerprint})"
+            )
+        produced = {
+            (cell.benchmark, cell.mechanism, cell.seed)
+            for cell in result.cells
+        }
+        if produced != set(shard.cell_ids()):
+            return "artifact cell set does not match the shard's work order"
+        return result

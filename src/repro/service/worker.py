@@ -1,0 +1,101 @@
+"""Shard execution: the worker-process entry point.
+
+A worker receives one serialised :class:`~repro.service.shards.ShardSpec`
+and must produce exactly one artifact file: the shard's
+:class:`~repro.service.shards.ShardResult` JSON, written crash-safely
+(temp file + ``os.replace``), so the supervisor either finds a complete
+artifact or none at all — never a torn one.  Everything the worker needs
+travels in the payload (spec, cells, fault injection); it reads no
+``REPRO_*`` state of its own, so a shard computes identically no matter
+which process — or attempt — runs it.
+
+:func:`execute_shard` is the fault-free core, also used directly by the
+supervisor's in-process degradation path; :func:`shard_process_main` is
+the ``multiprocessing.Process`` target that wraps it with the
+deterministic fault plane (crash / hang / corrupt / tamper).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api.result import CellResult
+from repro.common.atomicio import atomic_write_text
+from repro.service.shards import ShardResult, ShardSpec
+
+#: How long a ``hang``-faulted worker sleeps — far past any sane
+#: deadline, so the supervisor's kill path is what ends it.
+HANG_SLEEP_SECONDS = 3600.0
+
+
+def execute_shard(shard: ShardSpec, engine=None) -> ShardResult:
+    """Simulate every cell of *shard* and return its result.
+
+    With no *engine*, a private session honouring the shard spec's store
+    configuration is built (workers share the on-disk trace store when
+    the spec enables one, so even a cold sharded sweep interprets each
+    trace once per machine).  Passing an engine lets the degradation
+    path reuse the caller's memo.
+    """
+    if engine is None:
+        from repro.api.session import Session
+
+        engine = Session(store=shard.spec.store).engine
+    spec = shard.spec
+    cells = [
+        CellResult(
+            benchmark,
+            spec.mechanisms[mech_index].name,
+            seed,
+            engine.run_cell(
+                benchmark,
+                spec.mechanisms[mech_index],
+                seed=seed,
+                warmup=spec.window.warmup,
+                measure=spec.window.measure,
+                sampling=spec.sampling,
+            ).stats,
+        )
+        for benchmark, mech_index, seed in shard.cells
+    ]
+    return ShardResult(
+        index=shard.index, fingerprint=shard.fingerprint, cells=cells
+    )
+
+
+def _tampered(text: str) -> str:
+    """A well-formed copy of *text* whose first cell's stats were edited
+    (the recorded digest is left stale, so loading must reject it)."""
+    payload = json.loads(text)
+    stats = payload["cells"][0]["stats"]
+    stats["committed"] = int(stats.get("committed", 0)) + 1
+    return json.dumps(payload, sort_keys=True)
+
+
+def shard_process_main(
+    payload_text: str, out_path: str, fault: str | None
+) -> None:
+    """Process target: run the shard, honouring an injected *fault*.
+
+    * ``crash``  — die immediately (``os._exit``), as an OOM-killed or
+      segfaulted worker would: no artifact, non-zero exit code.
+    * ``hang``   — sleep far past any deadline; the supervisor kills us.
+    * ``corrupt``— compute, then write a truncated artifact (complete
+      file, torn payload — the parse/digest check must reject it).
+    * ``tamper`` — compute, then write well-formed JSON whose stats were
+      altered under a stale digest (the digest check must reject it).
+    """
+    if fault == "crash":
+        os._exit(13)
+    if fault == "hang":
+        time.sleep(HANG_SLEEP_SECONDS)
+        os._exit(14)  # pragma: no cover - the supervisor kills us first
+    shard = ShardSpec.from_json(payload_text)
+    text = execute_shard(shard).to_json()
+    if fault == "corrupt":
+        text = text[: len(text) // 2]
+    elif fault == "tamper":
+        text = _tampered(text)
+    atomic_write_text(out_path, text)

@@ -41,10 +41,10 @@ that variable to ``0``, ``off`` or ``none`` disables persistence.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
-import tempfile
 from pathlib import Path
+
+from repro.common.atomicio import atomic_write_bytes
 
 from repro.workloads.columnar import (  # noqa: F401  (codec re-exports)
     FORMAT,
@@ -227,28 +227,20 @@ class TraceStore:
     ) -> Path | None:
         """Persist an already-packed payload (see :meth:`save`).
 
-        The temp-file + ``os.replace`` dance guarantees readers never see
-        a partial write, and concurrent writers (parallel sweep workers
-        interpreting the same benchmark) race benignly: both produce
-        identical bytes.
+        The temp-file + ``os.replace`` (+ ``fsync``) dance — shared with
+        every other artifact writer via
+        :func:`repro.common.atomicio.atomic_write_bytes` — guarantees
+        readers never see a partial write, and concurrent writers
+        (parallel sweep workers interpreting the same benchmark) race
+        benignly: both produce identical bytes.
         """
         path = self.path_for(benchmark, seed, version)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=self.root, prefix=path.stem, suffix=".tmp"
+            atomic_write_bytes(
+                path,
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
         except OSError:
             return None  # read-only store, full disk, ... — not fatal
         self.writes += 1
@@ -300,20 +292,10 @@ class TraceStore:
         path = self.checkpoint_path(benchmark, seed, token)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=self.root, prefix=path.stem, suffix=".tmp"
+            atomic_write_bytes(
+                path,
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(payload, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
         except OSError:
             return None
         self.checkpoint_writes += 1
