@@ -61,6 +61,14 @@ KNOWN_VARS: dict[str, tuple[str, str]] = {
         "ExperimentSpec.store.columnar",
         "packed-column runtime trace plane (default on)",
     ),
+    "REPRO_GENRENAME": (
+        "pipeline.genrename install gate",
+        "generated per-mechanism rename/issue loops (default on)",
+    ),
+    "REPRO_VECWARM": (
+        "sampling.vecwarm warmer selection",
+        "NumPy-vectorised functional warming (default on; needs numpy)",
+    ),
     "REPRO_WORKERS": (
         "ExperimentSpec.workers", "parallel sweep workers (default 1)"
     ),
@@ -227,6 +235,26 @@ def columnar_from_env() -> bool:
     plane — kept alive as the differential-testing oracle (DESIGN.md §9).
     """
     return flag(os.environ.get("REPRO_COLUMNAR"), default=True)
+
+
+def genrename_enabled() -> bool:
+    """Whether pipelines install the generated rename/issue loops.
+
+    ``REPRO_GENRENAME=0`` keeps the generic ``Pipeline._rename`` /
+    ``_issue`` methods live — the differential oracle the golden
+    equivalence suite pins the generated plane against (DESIGN.md §12).
+    """
+    return flag(os.environ.get("REPRO_GENRENAME"), default=True)
+
+
+def vecwarm_enabled() -> bool:
+    """Whether sampled runs use the NumPy-vectorised functional warmer.
+
+    ``REPRO_VECWARM=0`` (or NumPy being unavailable) selects the pure-
+    Python ``FunctionalWarmer`` — the bit-identical fallback plane
+    (DESIGN.md §12).
+    """
+    return flag(os.environ.get("REPRO_VECWARM"), default=True)
 
 
 def store_setting_from_env() -> tuple[str | None, bool]:

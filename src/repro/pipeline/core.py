@@ -237,6 +237,17 @@ class Pipeline:
         self._total_committed = 0
         self._last_progress_cycle = 0
 
+        # Generated compute plane (DESIGN.md §12): bind per-mechanism
+        # specialised rename/issue loops as instance attributes, exactly
+        # like the columnar fetch binding above.  REPRO_GENRENAME=0
+        # keeps the generic methods live as the differential oracle.
+        from repro.api.env import genrename_enabled
+
+        if genrename_enabled():
+            from repro.pipeline.genrename import install_fast_stages
+
+            install_fast_stages(self)
+
     # ==================================================================
     # Public driver
     # ==================================================================
@@ -741,6 +752,11 @@ class Pipeline:
         issue_width = self.config.ports.issue_width
         op_ready = self._op_ready
         try_issue = ports.try_issue
+        alu_count = ports._alu_count
+        ldst_ports = ports._ldst_ports
+        fu_int_alu = FuClass.INT_ALU
+        fu_branch = FuClass.BRANCH
+        fu_load = FuClass.MEM_LOAD
         lsq = self.lsq
         # _do_issue, hand-inlined (this is the per-issued-op hot path):
         # completion timing, validation request, scoreboard update and
@@ -764,7 +780,22 @@ class Pipeline:
             # only loads carry LSQ conditions that must be re-evaluated.
             if d.is_load and not op_ready(op, cycle):
                 continue
-            if not try_issue(d.fu, cycle):
+            # Inlined IssuePorts.try_issue for the two dominant port
+            # classes (ALU-family and loads); the loop's break condition
+            # already guarantees a free issue slot.  Other FU classes
+            # keep the full method.
+            fu = d.fu
+            if fu is fu_int_alu or fu is fu_branch:
+                if ports._alu >= alu_count:
+                    continue
+                ports._alu += 1
+                ports._total += 1
+            elif fu is fu_load:
+                if ports._ldst >= ldst_ports:
+                    continue
+                ports._ldst += 1
+                ports._total += 1
+            elif not try_issue(fu, cycle):
                 continue
             op.issued = True
             if d.is_load:
@@ -883,7 +914,9 @@ class Pipeline:
                         bucket.append(waiter)
 
         if issued is not None:
-            self._ready = [op for op in ready if not op.issued]
+            # In-place filter: the ready list's identity is stable for the
+            # pipeline's life (the generated issue loop closes over it).
+            ready[:] = [op for op in ready if not op.issued]
             # Inlined iq.remove_issued over the issued list (retained
             # ops keep their entry until their validation µ-op issues).
             iq = self.iq
@@ -1476,7 +1509,7 @@ class Pipeline:
         # producer waiter lists) are dropped lazily via their squashed
         # flag; the ready list is filtered eagerly since it is iterated
         # every issue cycle.
-        self._ready = [o for o in self._ready if o.d.seq < first_seq]
+        self._ready[:] = [o for o in self._ready if o.d.seq < first_seq]
         self.lsq.squash(first_seq)
         self.validation_queue.squash(first_seq)
         self._fetch_stalled_by = None

@@ -19,6 +19,7 @@ The two paper configurations are provided as presets:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.common.history import GlobalHistory, PathHistory
@@ -35,6 +36,14 @@ from repro.predictors.tagged_table import (
 
 #: Sentinel stored in distance fields holding no prediction yet.
 NO_DISTANCE = 0
+
+#: Process-global table-version source for the fast-predict memo.  Every
+#: table write takes a fresh value, so a memoised prediction is reusable
+#: iff its (history bits, path bits, table version) tag still matches.
+#: Global monotonicity makes versions unique across predictor instances
+#: and across checkpoint restores (a restored snapshot can write an old
+#: version back; re-stamping with a fresh value makes staleness safe).
+_next_table_version = itertools.count(1).__next__
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,7 @@ class DistancePredictor:
         # Statistics.
         self.lookups = 0
         self.confident_predictions = 0
+        self._table_version = _next_table_version()
         # Specialised predict: the component loop is unrolled once at
         # construction with all geometry constants and table references
         # embedded (see _build_fast_predict).  `predict` is rebound to it;
@@ -166,15 +176,29 @@ class DistancePredictor:
         the per-component loop flattened and every constant inlined.
         Table lists and folded registers are only ever mutated in place,
         so the embedded references stay valid for the predictor's life.
+
+        A per-PC memo sits in front of the computation: the lookup is a
+        pure function of (pc, the history bits every component folds,
+        the folded path bits, the table contents), so a cached
+        prediction tagged with those inputs is returned verbatim while
+        they are unchanged.  Squash-replayed lookups — history restored
+        to prior bits, no training in between — hit naturally.  The memo
+        lives in the generated closure (never walked by the checkpoint
+        capture) and shares the immutable ``DistancePrediction``.
         """
         indexer = self._indexer
         components = indexer._components
         path_bits = indexer._path_bits
         n = len(components)
+        history_mask = (
+            1 << max(g.history_bits for g in self._geometries)
+        ) - 1
         env = {
             "_P": DistancePrediction,
             "_new": DistancePrediction.__new__,
             "_path": indexer.path,
+            "_hist": indexer.history,
+            "_memo": {},
             "_self": self,
             "_bdist": self._base_distance,
             "_bconf": self._base_conf,
@@ -183,6 +207,19 @@ class DistancePredictor:
             "def fast_predict(pc):",
             "    _self.lookups += 1",
             f"    path_raw = _path.value & {(1 << path_bits) - 1}",
+            f"    hist_tag = _hist._bits & {history_mask}",
+            "    version = _self._table_version",
+            "    entry = _memo.get(pc)",
+            "    if (",
+            "        entry is not None",
+            "        and entry[0] == hist_tag",
+            "        and entry[1] == path_raw",
+            "        and entry[2] == version",
+            "    ):",
+            "        p = entry[3]",
+            "        if p.use_pred:",
+            "            _self.confident_predictions += 1",
+            "        return p",
             "    word = pc >> 2",
         ]
         lines += emit_indexing_lines(components, path_bits, env)
@@ -227,6 +264,7 @@ class DistancePredictor:
             f"    p.tags = ({tag_list},)",
             "    p.base_index = base_index",
             "    p.confidence_level = confidence",
+            "    _memo[pc] = (hist_tag, path_raw, version, p)",
             "    return p",
         ]
         exec("\n".join(lines), env)  # noqa: S102 - static template, no input
@@ -297,6 +335,7 @@ class DistancePredictor:
         ):
             observed_distance = None
 
+        self._table_version = _next_table_version()
         distances, confs, index = self._entry(prediction)
         if observed_distance is None:
             # Nothing to learn from: leave the entry alone (the paper keeps
@@ -321,6 +360,7 @@ class DistancePredictor:
         The candidate compared its actual result with the register it would
         have shared: a 64-bit equality, no FIFO access needed.
         """
+        self._table_version = _next_table_version()
         distances, confs, index = self._entry(prediction)
         if distances[index] != prediction.distance:
             # Entry was reclaimed or retrained since prediction time.
@@ -332,6 +372,7 @@ class DistancePredictor:
 
     def on_mispredict(self, prediction: DistancePrediction) -> None:
         """A confident prediction failed validation: collapse confidence."""
+        self._table_version = _next_table_version()
         distances, confs, index = self._entry(prediction)
         confs[index] = 0
         if prediction.provider >= 0:
@@ -366,6 +407,16 @@ class DistancePredictor:
         self._useful[chosen][index] = 0
 
     # ------------------------------------------------------------------
+
+    def invalidate_prediction_memo(self) -> None:
+        """Re-stamp the table version after an out-of-band table write.
+
+        Trainers re-stamp themselves; this hook is for writers that
+        bypass them — the µarch-checkpoint restore walks table lists
+        element-wise (and writes a captured, possibly reused, version
+        value back), so it must re-stamp with a globally fresh value.
+        """
+        self._table_version = _next_table_version()
 
     def storage_report(self) -> StorageReport:
         """Itemised storage; reproduces the 42.6KB / 10.1KB numbers."""

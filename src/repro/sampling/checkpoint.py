@@ -303,4 +303,13 @@ def restore_checkpoint(pipeline, payload: dict) -> None:
     # was not restored — but its paired dirty flag was.  Re-arm the flag
     # so the closure regenerates on first use.
     pipeline.history._push_dirty = True
+    # The element-wise restore just rewrote predictor tables (and wrote
+    # back a captured table version that may already tag memo entries);
+    # re-stamp with a globally fresh version so the fast-predict memo
+    # can never serve a pre-restore prediction.
+    rsep = pipeline.rsep
+    if rsep is not None and hasattr(
+        rsep.predictor, "invalidate_prediction_memo"
+    ):
+        rsep.predictor.invalidate_prediction_memo()
     pipeline.skip_to(payload["cursor"], payload["cycle"])

@@ -1,0 +1,366 @@
+"""NumPy-vectorised functional warming over packed columns (DESIGN.md §12).
+
+The pure-Python :class:`~repro.sampling.warming.FunctionalWarmer` touches
+every instruction of a warmed span, but most instructions touch nothing:
+a plain ALU op on an already-fetched line trains no cache, no branch
+structure, no predictor.  With the columnar trace plane the per-span
+*event set* — fetch-line boundaries, branches, loads, stores, predictor-
+eligible producers, commit-group boundaries — is computable with whole-
+interval array operations, so this warmer:
+
+* mirrors the trace columns into NumPy arrays once per trace (uint8 views
+  of the packed kind/flag bytes, int64 copies of lines/dests/results, a
+  bool copy of the eligibility column);
+* builds the span's event mask with array compares (the fetch mask folds
+  the ``last_line`` recurrence: instruction *i* fetches iff its line
+  differs from line *i-1* or *i-1* was a taken branch);
+* folds *all* producer-result hashes of the span in one vectorised pass
+  (arithmetic shifts and masks on int64 match Python semantics for
+  ``array('q')`` values) when RSEP runs in sampling mode;
+* then walks only ``nonzero(event_mask)`` indices, running the *same*
+  per-event structure updates as the scalar loop — every scalar handed
+  to simulator state is read from the original Python columns, so no
+  ``numpy.int64`` ever leaks into predictor tables.
+
+Commit groups are observed in-stream at the index of the producer that
+fills them (predictor lookups must see the branch history of that
+interleaving point), exactly where the scalar loop observes them; the
+selection/search/train sequence is the shared
+``_observe_sampling_hashed``.  Stats stay bit-identical to the pure
+plane — pinned by the golden equivalence suite — and the pure warmer
+remains the live fallback when NumPy is absent or ``REPRO_VECWARM=0``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import NO_REG
+from repro.isa.program import INSTR_BYTES
+from repro.isa.registers import FP_BASE
+from repro.workloads.columnar import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_CONDITIONAL,
+    KIND_LOAD,
+    KIND_RETURN,
+    KIND_STORE,
+    MOVE,
+    TAKEN,
+    ColumnarTrace,
+)
+from repro.sampling.warming import (
+    _RING_KEEP,
+    _RING_TRIM,
+    FunctionalWarmer,
+    _ColumnarWarmOp,
+)
+
+try:  # NumPy is an optional dependency: absence selects the pure plane.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the no-NumPy CI leg
+    np = None
+
+
+def numpy_available() -> bool:
+    """Whether the vectorised plane can run in this interpreter."""
+    return np is not None
+
+
+def make_warmer(pipeline) -> FunctionalWarmer:
+    """The warming plane for *pipeline*: vectorised when possible.
+
+    Vectorised warming needs NumPy, a columnar trace, and
+    ``REPRO_VECWARM`` unset/on; anything else gets the pure-Python
+    warmer.  Both planes produce bit-identical statistics, so the choice
+    is invisible to everything downstream.
+    """
+    from repro.api.env import vecwarm_enabled
+
+    if (
+        np is not None
+        and vecwarm_enabled()
+        and isinstance(pipeline.trace, ColumnarTrace)
+    ):
+        return VecFunctionalWarmer(pipeline)
+    return FunctionalWarmer(pipeline)
+
+
+class VecFunctionalWarmer(FunctionalWarmer):
+    """Event-indexed :class:`FunctionalWarmer` over NumPy column mirrors."""
+
+    def __init__(self, pipeline) -> None:
+        super().__init__(pipeline)
+        self._np_cols = None
+        self._np_cols_key = None
+
+    # ------------------------------------------------------------------
+
+    def _columns(self, trace):
+        """NumPy mirrors of the trace columns (cached per trace length).
+
+        The key includes ``trace.n`` so a trace extended in place by the
+        simulator's prefix cache invalidates the mirror.
+        """
+        key = (id(trace), trace.n)
+        if self._np_cols_key != key:
+            n = trace.n
+            self._np_cols = (
+                np.frombuffer(trace.kinds, dtype=np.uint8, count=n),
+                np.frombuffer(trace.flags, dtype=np.uint8, count=n),
+                np.array(trace.lines, dtype=np.int64),
+                np.array(trace.dests, dtype=np.int64),
+                np.array(trace.results, dtype=np.uint64),
+                np.array(trace.eligibles, dtype=np.bool_),
+            )
+            self._np_cols_key = key
+        return self._np_cols
+
+    def _fold_array(self, values):
+        """Vectorised ``fold_values``: one shift/xor pass over uint64.
+
+        Logical right shifts and ``& mask`` behave identically on
+        ``numpy.uint64`` and non-negative Python ints, which is exactly
+        the domain (``array('Q')`` results).
+        """
+        hash_bits = self.pipeline.rsep.config.hash_bits
+        folded = values.copy()
+        for shift in range(hash_bits, 64, hash_bits):
+            folded ^= values >> shift
+        folded &= (1 << hash_bits) - 1
+        return folded
+
+    # ------------------------------------------------------------------
+
+    def _warm_columnar(self, start: int, count: int,
+                       cycle: int) -> tuple[int, int]:
+        p = self.pipeline
+        trace = p.trace
+        end = min(start + count, trace.n)
+        if end <= start:
+            return start, cycle
+
+        kinds_a, flags_a, lines_a, dests_a, results_a, elig_a = (
+            self._columns(trace)
+        )
+        span = slice(start, end)
+        kinds_s = kinds_a[span]
+        flags_s = flags_a[span]
+        lines_s = lines_a[span]
+
+        # ---- whole-span event masks ----------------------------------
+        branch_m = (kinds_s & KIND_BRANCH) != 0
+        load_m = ~branch_m & ((kinds_s & KIND_LOAD) != 0)
+        store_m = ~branch_m & ~load_m & ((kinds_s & KIND_STORE) != 0)
+        taken_m = branch_m & ((flags_s & TAKEN) != 0)
+        # last_line recurrence, folded: before instruction i the scalar
+        # loop holds last_line == -1 (i == start, or i-1 taken branch)
+        # or lines[i-1]; a fetch happens whenever lines[i] differs.
+        fetch_m = np.empty(end - start, dtype=np.bool_)
+        fetch_m[0] = True
+        np.not_equal(lines_s[1:], lines_s[:-1], out=fetch_m[1:])
+        fetch_m[1:] |= taken_m[:-1]
+
+        event_m = fetch_m | branch_m | load_m | store_m
+
+        zero_predictor = p.zero_predictor
+        vp = p.vp
+        if zero_predictor is not None or vp is not None:
+            event_m |= elig_a[span]
+
+        rsep = p.rsep
+        rsep_sampling = self._rsep_sampling
+        commit_width = p.config.commit_width
+        move_elim = self._move_elim
+
+        prod_rel: list[int] = []
+        boundaries: list[int] = []
+        hash_list: list[int] = []
+        elig_prod: list[bool] = []
+        if rsep is not None:
+            prod_m = dests_a[span] != NO_REG
+            if rsep_sampling:
+                # Producers stay out of the event walk: their group
+                # bookkeeping is precomputed here, and only the producer
+                # that *fills* each group becomes an event (the in-stream
+                # observation point of the scalar loop).
+                prod_idx = np.nonzero(prod_m)[0]
+                if len(prod_idx):
+                    bounds = prod_idx[commit_width - 1::commit_width]
+                    event_m[bounds] = True
+                    boundaries = bounds.tolist()
+                    prod_rel = prod_idx.tolist()
+                    hash_list = self._fold_array(
+                        results_a[span][prod_idx]
+                    ).tolist()
+                    elig_v = elig_a[span][prod_idx]
+                    if move_elim:
+                        elig_v = elig_v & (
+                            (flags_s[prod_idx] & MOVE) == 0
+                        )
+                    elig_prod = elig_v.tolist()
+            else:
+                # Every producer feeds the ring/group stream: all are
+                # events, handled by the faithful per-producer mirror.
+                event_m |= prod_m
+
+        events = np.nonzero(event_m)[0]
+        fetch_ev = fetch_m[events].tolist()
+        event_list = events.tolist()
+
+        # ---- per-event scalar state (hoisted exactly like the pure
+        # loop; every value handed over is read from the Python columns)
+        pcs = trace.pcs
+        kinds = trace.kinds
+        flags = trace.flags
+        dests = trace.dests
+        addrs = trace.addrs
+        results = trace.results
+        targets = trace.targets
+        eligibles = trace.eligibles
+
+        hierarchy = p.hierarchy
+        mem_load = hierarchy.load
+        mem_store = hierarchy.store
+        mem_fetch = hierarchy.fetch
+        branch_unit = p.branch_unit
+        tage_predict = branch_unit.tage.predict
+        tage_update = branch_unit.tage.update
+        btb_lookup = branch_unit.btb.lookup
+        btb_update = branch_unit.btb.update
+        ras = branch_unit.ras
+        history_push = p.history.push
+        path_push = p.path.push
+        if vp is not None:
+            vp_predict = vp.predictor.predict
+            vp_train = vp.predictor.train
+        if rsep is not None:
+            rsep_predict = rsep.predictor.predict
+            rsep_observe = rsep.observe_commit_group
+            rsep_mispredict = rsep.on_mispredict
+        observe_hashed = self._observe_sampling_hashed
+        ring = self._ring
+        group = self._group
+        no_reg = NO_REG
+        fp_base = FP_BASE
+        kind_branch = KIND_BRANCH
+        kind_conditional = KIND_CONDITIONAL
+        kind_return = KIND_RETURN
+        kind_call = KIND_CALL
+        kind_load = KIND_LOAD
+        kind_store = KIND_STORE
+        flag_taken = TAKEN
+        flag_move = MOVE
+        next_boundary = 0
+        n_boundaries = len(boundaries)
+
+        for position, rel in enumerate(event_list):
+            index = start + rel
+            event_cycle = cycle + rel + 1
+
+            # ---- front end: L1I/ITLB and branch structures ------------
+            pc = pcs[index]
+            kind = kinds[index]
+            if fetch_ev[position]:
+                mem_fetch(pc, event_cycle)
+            if kind & kind_branch:
+                taken = flags[index] & flag_taken != 0
+                if kind & kind_conditional:
+                    prediction = tage_predict(pc)
+                    if prediction.taken == taken and taken:
+                        btb_lookup(pc)
+                    history_push(1 if taken else 0)
+                    tage_update(prediction, taken)
+                elif kind & kind_return:
+                    ras.pop()
+                else:
+                    btb_lookup(pc)
+                    if kind & kind_call:
+                        ras.push(pc + INSTR_BYTES)
+                if taken:
+                    path_push(pc)
+                    target_pc = targets[index]
+                    if target_pc >= 0:
+                        btb_update(pc, target_pc)
+            # ---- data side: L1D/DTLB, prefetchers, DRAM ---------------
+            elif kind & kind_load:
+                mem_load(pc, addrs[index], event_cycle)
+            elif kind & kind_store:
+                mem_store(pc, addrs[index], event_cycle)
+
+            # ---- mechanism predictors (rename-side lookups) -----------
+            eligible = eligibles[index]
+            if eligible:
+                if zero_predictor is not None:
+                    zero_predictor.train(
+                        zero_predictor.predict(pc), results[index] == 0
+                    )
+                if vp is not None:
+                    vp_train(vp_predict(pc), results[index])
+
+            # ---- commit-side producer stream (RSEP pairing) -----------
+            if rsep is None:
+                continue
+            if rsep_sampling:
+                # Group observation at the filling producer's stream
+                # position; group contents were precomputed above.
+                if (
+                    next_boundary < n_boundaries
+                    and rel == boundaries[next_boundary]
+                ):
+                    base = next_boundary * commit_width
+                    group_eligible = [
+                        (offset, pcs[start + prod_rel[base + offset]])
+                        for offset in range(commit_width)
+                        if elig_prod[base + offset]
+                    ]
+                    observe_hashed(
+                        hash_list[base:base + commit_width], group_eligible
+                    )
+                    next_boundary += 1
+                continue
+            dest = dests[index]
+            if dest == no_reg:
+                continue
+            op = _ColumnarWarmOp(dest, results[index])
+            if eligible and not (
+                move_elim and flags[index] & flag_move != 0
+            ):
+                prediction = rsep_predict(pc)
+                op.dist_pred = prediction
+                distance = prediction.distance
+                if 0 < distance <= len(ring):
+                    producer = ring[-distance]
+                    if prediction.use_pred:
+                        # Emulate §IV.G commit-time validation: a shared
+                        # register whose producer's value differs would
+                        # squash and collapse confidence.
+                        if (producer.d.dest >= fp_base) == (
+                            dest >= fp_base
+                        ) and producer.d.result != results[index]:
+                            rsep_mispredict(prediction)
+                    elif prediction.likely_candidate:
+                        op.likely_candidate = True
+                        op.producer = producer
+            group.append(op)
+            ring.append(op)
+            if len(group) >= commit_width:
+                rsep_observe(group)
+                del group[:]
+                if len(ring) > _RING_TRIM:
+                    del ring[:-_RING_KEEP]
+
+        if rsep is not None:
+            if group:
+                rsep_observe(group)
+                del group[:]
+            if rsep_sampling:
+                # Flush the partial trailing group, mirroring the scalar
+                # loop's end-of-span flush (no cross-span carry).
+                tail = n_boundaries * commit_width
+                if tail < len(prod_rel):
+                    group_eligible = [
+                        (offset, pcs[start + prod_rel[tail + offset]])
+                        for offset in range(len(prod_rel) - tail)
+                        if elig_prod[tail + offset]
+                    ]
+                    observe_hashed(hash_list[tail:], group_eligible)
+        return end, cycle + (end - start)

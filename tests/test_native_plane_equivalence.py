@@ -1,0 +1,419 @@
+"""Differential equivalence for the native-speed compute plane (PR 7).
+
+Two generated planes ship behind environment gates, each with its
+generic implementation kept live as the oracle:
+
+* ``REPRO_GENRENAME`` — per-mechanism generated rename/issue loops
+  (``repro.pipeline.genrename``) vs the generic ``Pipeline._rename`` /
+  ``_issue`` methods;
+* ``REPRO_VECWARM`` — the NumPy event-indexed functional warmer
+  (``repro.sampling.vecwarm``) vs the pure-Python column loop.
+
+Every test here runs the same cell through both planes (and the four
+on/off combinations) asserting *bit-identical* statistics, mirroring
+``tests/test_columnar_equivalence.py``'s treatment of the columnar
+plane.  The memoised distance-predictor fast path and the issue-port
+arms inlined into both issue loops get direct hypothesis equivalence
+tests of their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import env as api_env
+from repro.backend.fu import FuClass, IssuePorts, PortConfig
+from repro.common.history import GlobalHistory, PathHistory
+from repro.common.rng import XorShift64
+from repro.core.validation import ValidationMode
+from repro.pipeline.config import (
+    CoreConfig,
+    MECHANISM_PRESETS,
+    MechanismConfig,
+)
+from repro.pipeline.simulator import Simulator
+from repro.predictors.distance import (
+    DistancePredictor,
+    DistancePredictorConfig,
+)
+from repro.sampling import SamplingConfig
+from repro.sampling import vecwarm
+from repro.sampling.warming import FunctionalWarmer
+from repro.workloads.store import TraceStore
+
+from helpers import stats_dict  # noqa: E402  (shared test helper)
+
+
+SAMPLING = SamplingConfig(
+    enabled=True, interval=1000, detail_ratio=0.25, detail_warmup=128,
+)
+
+
+def run_cell(
+    monkeypatch,
+    benchmark: str,
+    mechanism: MechanismConfig,
+    warmup: int,
+    measure: int,
+    *,
+    genrename: bool = True,
+    vectorised: bool = True,
+    store_root=None,
+    sampling: SamplingConfig | None = None,
+) -> dict:
+    """One cell under the requested compute-plane combination."""
+    monkeypatch.setenv("REPRO_GENRENAME", "1" if genrename else "0")
+    monkeypatch.setenv("REPRO_VECWARM", "1" if vectorised else "0")
+    store = TraceStore(store_root) if store_root is not None else None
+    simulator = Simulator(trace_store=store)
+    result = simulator.run_benchmark(
+        benchmark, mechanism, warmup=warmup, measure=measure, seed=1,
+        sampling=sampling,
+    )
+    return stats_dict(result.stats)
+
+
+class TestEnvFrontDoor:
+    def test_new_vars_are_known(self):
+        assert "REPRO_GENRENAME" in api_env.KNOWN_VARS
+        assert "REPRO_VECWARM" in api_env.KNOWN_VARS
+        unknown = api_env.warn_unknown_vars(
+            {"REPRO_GENRENAME": "0", "REPRO_VECWARM": "0"}
+        )
+        assert unknown == []
+
+    @pytest.mark.parametrize("reader,name", [
+        (api_env.genrename_enabled, "REPRO_GENRENAME"),
+        (api_env.vecwarm_enabled, "REPRO_VECWARM"),
+    ], ids=["genrename", "vecwarm"])
+    def test_readers_default_on_and_gate_off(self, monkeypatch, reader, name):
+        monkeypatch.delenv(name, raising=False)
+        assert reader() is True
+        for off in api_env.OFF_VALUES:
+            monkeypatch.setenv(name, off)
+            assert reader() is False
+        monkeypatch.setenv(name, "1")
+        assert reader() is True
+
+
+class TestGeneratedRenameEquivalence:
+    """Generic vs generated rename/issue across every mechanism."""
+
+    @pytest.mark.parametrize("preset", sorted(MECHANISM_PRESETS))
+    def test_all_presets_match(self, monkeypatch, preset):
+        mechanism = MECHANISM_PRESETS[preset]()
+        generated = run_cell(
+            monkeypatch, "mcf", mechanism, 500, 3000, genrename=True
+        )
+        generic = run_cell(
+            monkeypatch, "mcf", mechanism, 500, 3000, genrename=False
+        )
+        assert generated == generic
+
+    def test_all_validation_modes_match(self, monkeypatch):
+        variants = [
+            MechanismConfig.rsep_validation(mode) for mode in ValidationMode
+        ]
+        variants.append(MechanismConfig.rsep_validation(
+            ValidationMode.REISSUE_ANY_FU, sampling=True,
+            start_train_threshold=15,
+        ))
+        for mechanism in variants:
+            generated = run_cell(
+                monkeypatch, "hmmer", mechanism, 500, 3000, genrename=True
+            )
+            generic = run_cell(
+                monkeypatch, "hmmer", mechanism, 500, 3000, genrename=False
+            )
+            assert generated == generic, mechanism.name
+
+    def test_code_cache_shared_per_fingerprint(self):
+        from repro.pipeline import genrename
+
+        config = CoreConfig()
+        first = genrename.compiled_stages(
+            config, MechanismConfig.rsep_realistic()
+        )
+        second = genrename.compiled_stages(
+            config, MechanismConfig.rsep_realistic()
+        )
+        assert first[0] is second[0] and first[1] is second[1]
+        other = genrename.compiled_stages(config, MechanismConfig.baseline())
+        assert other[0] is not first[0]
+
+    def test_escape_hatch_restores_generic_methods(self, monkeypatch):
+        from repro.pipeline.core import Pipeline
+
+        trace = Simulator(trace_store=None).trace_for("mcf", 1, 500)
+        monkeypatch.setenv("REPRO_GENRENAME", "0")
+        pipeline = Pipeline(trace, CoreConfig(), MechanismConfig.baseline())
+        assert "_rename" not in vars(pipeline)
+        assert "_issue" not in vars(pipeline)
+        monkeypatch.setenv("REPRO_GENRENAME", "1")
+        pipeline = Pipeline(trace, CoreConfig(), MechanismConfig.baseline())
+        assert "_rename" in vars(pipeline) and "_issue" in vars(pipeline)
+
+
+class TestVectorisedWarmingEquivalence:
+    """Pure vs vectorised warming on sampled cells (the only consumer)."""
+
+    @pytest.mark.parametrize("factory", [
+        MechanismConfig.baseline,
+        MechanismConfig.rsep_realistic,
+        MechanismConfig.rsep_plus_vp,
+        MechanismConfig.rsep_ideal,
+    ], ids=lambda factory: factory.__name__)
+    def test_sampled_cells_match(self, monkeypatch, factory):
+        kwargs = dict(warmup=1500, measure=6000, sampling=SAMPLING)
+        fast = run_cell(
+            monkeypatch, "xalancbmk", factory(), vectorised=True, **kwargs
+        )
+        pure = run_cell(
+            monkeypatch, "xalancbmk", factory(), vectorised=False, **kwargs
+        )
+        assert fast["warmed"] > 0  # the warmer really ran
+        assert fast == pure
+
+    def test_vecwarm_plane_selected_by_default(self, monkeypatch):
+        from repro.pipeline.core import Pipeline
+
+        pytest.importorskip("numpy")
+        monkeypatch.delenv("REPRO_VECWARM", raising=False)
+        trace = Simulator(trace_store=None).trace_for("mcf", 1, 500)
+        pipeline = Pipeline(trace, CoreConfig(), MechanismConfig.baseline())
+        assert isinstance(
+            vecwarm.make_warmer(pipeline), vecwarm.VecFunctionalWarmer
+        )
+
+    def test_no_numpy_falls_back_cleanly(self, monkeypatch):
+        from repro.pipeline.core import Pipeline
+
+        monkeypatch.setattr(vecwarm, "np", None)
+        assert not vecwarm.numpy_available()
+        simulator = Simulator(trace_store=None)
+        trace = simulator.trace_for("mcf", 1, 500)
+        pipeline = Pipeline(trace, CoreConfig(), MechanismConfig.baseline())
+        warmer = vecwarm.make_warmer(pipeline)
+        assert type(warmer) is FunctionalWarmer
+        # And a sampled run still works end to end on the pure plane.
+        result = simulator.run_benchmark(
+            "mcf", MechanismConfig.rsep_realistic(), warmup=1000,
+            measure=2000, seed=1, sampling=SAMPLING,
+        )
+        assert result.stats.warmed > 0
+
+
+class TestFourPlaneCombinations:
+    """genrename × vecwarm: all four combinations digest-identical,
+    including through a sampled-checkpoint capture/restore cycle."""
+
+    def test_sampled_rsep_realistic_all_combinations(self, monkeypatch):
+        kwargs = dict(warmup=1500, measure=4000, sampling=SAMPLING)
+        reference = run_cell(
+            monkeypatch, "mcf", MechanismConfig.rsep_realistic(),
+            genrename=False, vectorised=False, **kwargs,
+        )
+        for genrename in (True, False):
+            for vectorised in (True, False):
+                if not genrename and not vectorised:
+                    continue
+                observed = run_cell(
+                    monkeypatch, "mcf", MechanismConfig.rsep_realistic(),
+                    genrename=genrename, vectorised=vectorised, **kwargs,
+                )
+                assert observed == reference, (genrename, vectorised)
+
+    def test_checkpoint_crosses_planes(self, monkeypatch, tmp_path):
+        # A µarch checkpoint captured under the fast planes restores
+        # bit-identically under the oracle planes: warmed state is a
+        # pure function of the trace content, and the restore re-stamps
+        # the fast-predict memo version (see checkpoint.py).
+        mechanism = MechanismConfig.rsep_realistic()
+        kwargs = dict(warmup=1500, measure=4000, sampling=SAMPLING)
+        cold = run_cell(
+            monkeypatch, "mcf", mechanism, genrename=True,
+            vectorised=True, store_root=tmp_path, **kwargs,
+        )
+        monkeypatch.setenv("REPRO_GENRENAME", "0")
+        monkeypatch.setenv("REPRO_VECWARM", "0")
+        restored_store = TraceStore(tmp_path)
+        restored = Simulator(trace_store=restored_store).run_benchmark(
+            "mcf", mechanism, seed=1, **kwargs
+        )
+        assert restored_store.checkpoint_hits == 1
+        # A genuine restore: no fallback re-warm rewrote the artifact.
+        assert restored_store.checkpoint_writes == 0
+        assert stats_dict(restored.stats) == cold
+
+
+# ---------------------------------------------------------------------------
+# Satellite: memoised fast_predict vs predict_reference
+# ---------------------------------------------------------------------------
+
+
+def _predictor_pair():
+    """Two predictors sharing nothing, built identically: one drives the
+    memoised generated path, the other the generic reference."""
+    pairs = []
+    for _ in range(2):
+        history = GlobalHistory()
+        path = PathHistory()
+        predictor = DistancePredictor(
+            DistancePredictorConfig.realistic(), history, path,
+            XorShift64(0xDECAF),
+        )
+        pairs.append((history, path, predictor))
+    return pairs
+
+
+_PCS = [0x1000 + 4 * i for i in range(24)]
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 1)),
+        st.tuples(st.just("path"), st.sampled_from(_PCS)),
+        st.tuples(st.just("predict"), st.sampled_from(_PCS)),
+        st.tuples(st.just("repredict"), st.sampled_from(_PCS)),
+        st.tuples(st.just("train_pair"), st.integers(0, 40)),
+        st.tuples(st.just("train_val"), st.booleans()),
+        st.tuples(st.just("mispredict"), st.just(0)),
+        st.tuples(st.just("snapshot"), st.just(0)),
+        st.tuples(st.just("restore"), st.just(0)),
+    ),
+    min_size=4, max_size=80,
+)
+
+
+def _fields(p):
+    return (
+        p.pc, p.distance, p.use_pred, p.likely_candidate, p.provider,
+        p.indices, p.tags, p.base_index, p.confidence_level,
+    )
+
+
+class TestMemoisedPredictEquivalence:
+    """The memoised fast path vs ``predict_reference`` under interleaved
+    pushes, trainings and squash-style history snapshot/restores."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_random_interleavings(self, ops):
+        (hist_fast, path_fast, fast), (hist_ref, path_ref, ref) = (
+            _predictor_pair()
+        )
+        last_fast = last_ref = None
+        snap = None
+        for op, value in ops:
+            if op == "push":
+                hist_fast.push(value)
+                hist_ref.push(value)
+            elif op == "path":
+                path_fast.push(value)
+                path_ref.push(value)
+            elif op in ("predict", "repredict"):
+                last_fast = fast.predict(value)
+                last_ref = ref.predict_reference(value)
+                if op == "repredict":
+                    # Same history/path/tables: the memo must serve the
+                    # identical object, counters advancing as ever.
+                    assert fast.predict(value) is last_fast
+                    last_ref = ref.predict_reference(value)
+                assert _fields(last_fast) == _fields(last_ref)
+            elif op == "train_pair" and last_fast is not None:
+                fast.train_from_pairing(last_fast, value)
+                ref.train_from_pairing(last_ref, value)
+            elif op == "train_val" and last_fast is not None:
+                fast.train_from_validation(last_fast, value)
+                ref.train_from_validation(last_ref, value)
+            elif op == "mispredict" and last_fast is not None:
+                fast.on_mispredict(last_fast)
+                ref.on_mispredict(last_ref)
+            elif op == "snapshot":
+                snap = (
+                    hist_fast.snapshot(), path_fast.snapshot(),
+                    hist_ref.snapshot(), path_ref.snapshot(),
+                )
+            elif op == "restore" and snap is not None:
+                # Squash emulation: roll history back under the memo.
+                hist_fast.restore(snap[0])
+                path_fast.restore(snap[1])
+                hist_ref.restore(snap[2])
+                path_ref.restore(snap[3])
+        # Stat counters advanced in lockstep on both paths.
+        assert fast.lookups == ref.lookups
+        assert fast.confident_predictions == ref.confident_predictions
+
+    def test_memo_hit_and_invalidation(self):
+        (_, _, fast), _ = _predictor_pair()
+        first = fast.predict(0x1000)
+        assert fast.predict(0x1000) is first  # memo hit
+        fast.invalidate_prediction_memo()
+        recomputed = fast.predict(0x1000)
+        assert recomputed is not first  # version re-stamped: recompute
+        assert _fields(recomputed) == _fields(first)  # tables untouched
+
+    def test_training_invalidates_memo(self):
+        (_, _, fast), _ = _predictor_pair()
+        first = fast.predict(0x1000)
+        fast.train_from_pairing(first, 3)  # bumps the table version
+        assert fast.predict(0x1000) is not first
+
+
+# ---------------------------------------------------------------------------
+# Satellite: try_issue arms inlined into the issue loops
+# ---------------------------------------------------------------------------
+
+
+def _inline_arm(ports: IssuePorts, fu: FuClass, cycle: int) -> bool:
+    """Replica of the arms both issue loops inline (core.py / genrename):
+    the INT_ALU/BRANCH and MEM_LOAD decisions with literal counts."""
+    if fu is FuClass.INT_ALU or fu is FuClass.BRANCH:
+        if ports._alu >= ports._alu_count:
+            return False
+        ports._alu += 1
+        ports._total += 1
+        return True
+    if fu is FuClass.MEM_LOAD:
+        if ports._ldst >= ports._ldst_ports:
+            return False
+        ports._ldst += 1
+        ports._total += 1
+        return True
+    return ports.try_issue(fu, cycle)
+
+
+class TestIssuePortInlineEquivalence:
+    """The inlined arms match ``IssuePorts.try_issue`` exactly while a
+    slot is free — and both issue loops break on ``_total >=
+    issue_width`` before ever reaching an arm, so that is the only
+    regime the inline decision runs in."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        fus=st.lists(
+            st.sampled_from([
+                FuClass.INT_ALU, FuClass.BRANCH, FuClass.MEM_LOAD,
+                FuClass.MEM_STORE, FuClass.FP_ALU, FuClass.INT_MUL,
+            ]),
+            min_size=1, max_size=24,
+        ),
+    )
+    def test_arm_matches_method(self, fus):
+        config = PortConfig()
+        oracle = IssuePorts(config)
+        inlined = IssuePorts(config)
+        oracle.new_cycle(0)
+        inlined.new_cycle(0)
+        for fu in fus:
+            # Both issue loops only reach the arms below this guard.
+            if inlined._total >= config.issue_width:
+                break
+            assert oracle.try_issue(fu, 0) == _inline_arm(inlined, fu, 0)
+            assert (
+                oracle._total, oracle._alu, oracle._ldst,
+                oracle._fp, oracle._store_only, oracle._mul,
+            ) == (
+                inlined._total, inlined._alu, inlined._ldst,
+                inlined._fp, inlined._store_only, inlined._mul,
+            )
