@@ -36,7 +36,7 @@ BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
 #: Label of the trajectory entry this working tree records.  Bumped once
 #: per perf-relevant PR; override with REPRO_PERF_LABEL for ad-hoc runs.
-CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 7")
+CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 8")
 
 #: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
 #: measured with this same protocol (default window, best-of-3 pipeline

@@ -6,7 +6,9 @@ Subcommands::
     repro perf     simulated-KIPS throughput harness (+ CI smoke gate)
     repro figures  regenerate the paper's figures from declarative specs
     repro report   render a stored RunResult artifact
-    repro inspect  show an artifact's provenance, or the environment overlay
+    repro inspect  artifact provenance / telemetry / event logs / env overlay
+    repro profile  per-stage wall attribution (+ the obs overhead gate)
+    repro tail     follow a live service's event stream (DESIGN.md §13)
     repro serve    sweep service on a local socket: spec JSON in, artifact out
 
 Every run subcommand builds an :class:`~repro.api.spec.ExperimentSpec`
@@ -164,6 +166,14 @@ def _cmd_sweep(args) -> int:
         print(f"\nsharded over {len(outcome.attempts)} shard(s), "
               f"{sum(outcome.attempts.values())} attempt(s), mode "
               f"{outcome.mode}")
+        for index, report in sorted(outcome.shard_reports.items()):
+            if report.attempts <= 1 and not report.failure_kinds:
+                continue
+            kinds = ", ".join(report.failure_kinds) or "none"
+            print(f"  shard {index}: {report.attempts} attempt(s), "
+                  f"failures [{kinds}], "
+                  f"backoff {report.backoff_seconds:.2f}s"
+                  + (", QUARANTINED" if report.quarantined else ""))
         for line in outcome.failures:
             print(f"  fault survived: {line}", file=sys.stderr)
     else:
@@ -270,13 +280,95 @@ def _cmd_report(args) -> int:
     return status
 
 
+def _render_telemetry(payload: dict, detail: bool) -> str:
+    """The artifact's ``telemetry`` section, summarised (or, with
+    *detail*, including per-cell series heads)."""
+    lines = [
+        f"telemetry   : format {payload.get('format')}, "
+        f"metrics every {payload.get('metrics_every')} committed, "
+        f"events under {payload.get('events_dir')}"
+    ]
+    cells = payload.get("cells", [])
+    lines.append(f"  metric cells: {len(cells)}")
+    for cell in cells:
+        samples = cell.get("samples", 0)
+        lines.append(
+            f"  {cell.get('benchmark')} × {cell.get('mechanism')} × seed "
+            f"{cell.get('seed')}: {samples} sample(s)"
+        )
+        if detail and samples:
+            series = cell.get("series", {})
+            for name in ("total_committed", "cycles", "rob", "iq"):
+                values = series.get(name)
+                if not values:
+                    continue
+                head = ", ".join(str(v) for v in values[:8])
+                more = ", ..." if len(values) > 8 else ""
+                lines.append(f"    {name:<16}: [{head}{more}]")
+    shards = payload.get("shards")
+    if shards:
+        lines.append(f"  shard reports: {len(shards)}")
+        for index, report in sorted(shards.items()):
+            kinds = ", ".join(report.get("failure_kinds", [])) or "none"
+            lines.append(
+                f"  shard {index}: {report.get('attempts')} attempt(s), "
+                f"failures [{kinds}], backoff "
+                f"{report.get('backoff_seconds', 0.0):.2f}s"
+                + (", QUARANTINED" if report.get("quarantined") else "")
+            )
+    return "\n".join(lines)
+
+
+def _inspect_events(path: str) -> int:
+    """``repro inspect --events``: summarise one event JSONL file."""
+    from repro.obs import format_record, read_events
+
+    try:
+        records, dropped = read_events(path)
+    except OSError as error:
+        print(f"{path}: unreadable event log: {error}", file=sys.stderr)
+        return 1
+    print(f"# {path}")
+    by_name: dict[str, int] = {}
+    for record in records:
+        by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+    print(f"{len(records)} record(s), {dropped} dropped "
+          "(torn tail / future format)")
+    for name, count in sorted(by_name.items()):
+        print(f"  {name:<24} × {count}")
+    print()
+    for record in records:
+        print(format_record(record))
+    return 0
+
+
 def _cmd_inspect(args) -> int:
+    if getattr(args, "events", None):
+        return _inspect_events(args.events)
     if args.artifact:
         try:
             result = RunResult.load(args.artifact)
         except (OSError, ValueError, KeyError) as error:
+            # Lenient fallback: a future-format artifact should still
+            # tell the operator *what it is* rather than fail opaquely.
+            import json as _json
+
+            from repro.api.result import KNOWN_SECTIONS
+
+            try:
+                payload = _json.loads(
+                    Path(args.artifact).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError):
+                payload = None
             print(f"{args.artifact}: unreadable artifact: {error}",
                   file=sys.stderr)
+            if isinstance(payload, dict):
+                print(f"# {args.artifact} (raw section listing)")
+                for key in sorted(payload):
+                    label = ("known" if key in KNOWN_SECTIONS
+                             else "not understood by this build")
+                    print(f"section {key:<12}: {label}")
             return 1
         print(f"# {args.artifact}")
         print(f"format      : {result.format}")
@@ -284,7 +376,20 @@ def _cmd_inspect(args) -> int:
         print(_spec_summary(result.spec))
         for key, value in sorted(result.meta.items()):
             print(f"meta.{key:<12}: {value}")
+        if result.telemetry is not None:
+            print(_render_telemetry(result.telemetry,
+                                    detail=bool(args.metrics)))
+        elif args.metrics:
+            print("telemetry   : none recorded (run with REPRO_OBS=1 "
+                  "or ObsSpec(enabled=True))")
+        for key in sorted(result.extra_sections):
+            print(f"section {key:<12}: not understood by this build; "
+                  "preserved verbatim and re-emitted on save")
         return 0
+    if args.metrics:
+        print("repro inspect --metrics needs an artifact path",
+              file=sys.stderr)
+        return 2
     # Environment mode: the resolved overlay plus the migration table.
     unknown = api_env.warn_unknown_vars()
     spec = ExperimentSpec.from_env()
@@ -302,6 +407,105 @@ def _cmd_inspect(args) -> int:
               f"{', '.join(unknown)}")
         return 1
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import (
+        DEFAULT_BENCHMARKS,
+        overhead_gate,
+        phase_profile,
+        render_gate,
+        render_profile,
+        write_json,
+    )
+
+    if args.gate:
+        ok, report = overhead_gate(
+            repeats=args.repeats, tolerance=args.tolerance,
+        )
+        print(render_gate(report))
+        if args.json:
+            write_json(report, args.json)
+            print(f"wrote {args.json}")
+        return 0 if ok else 1
+    sampling = None
+    if args.full_detail:
+        from repro.sampling import SamplingConfig
+
+        sampling = SamplingConfig(enabled=False)
+    try:
+        payload = phase_profile(
+            benchmarks=tuple(args.benchmarks) if args.benchmarks
+            else DEFAULT_BENCHMARKS,
+            mechanism_name=args.mechanism,
+            warmup=args.warmup,
+            measure=args.measure,
+            sampling=sampling,
+            combos=args.combos,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"repro profile: {error}", file=sys.stderr)
+        return 2
+    print(render_profile(payload))
+    if args.json:
+        write_json(payload, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    import os
+    import time
+
+    from repro.obs import decode_record, format_record
+    from repro.obs.config import DEFAULT_OBS_DIR
+
+    directory = Path(
+        args.dir or os.environ.get("REPRO_OBS_DIR") or DEFAULT_OBS_DIR
+    )
+    offsets: dict[Path, int] = {}
+
+    def drain() -> int:
+        emitted = 0
+        for path in sorted(directory.glob("events-*.jsonl")):
+            start = offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(start)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            # Consume complete lines only: a live writer's in-flight
+            # line stays buffered until its newline lands.
+            end = chunk.rfind(b"\n")
+            if end < 0:
+                continue
+            offsets[path] = start + end + 1
+            for raw in chunk[:end].split(b"\n"):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = decode_record(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                print(format_record(record), flush=False)
+                emitted += 1
+        sys.stdout.flush()
+        return emitted
+
+    if not args.follow:
+        if drain() == 0:
+            print(f"(no events under {directory})")
+        return 0
+    print(f"repro tail: following {directory} (Ctrl-C to stop)",
+          file=sys.stderr)
+    try:
+        while True:
+            drain()
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_serve(args) -> int:
@@ -405,12 +609,66 @@ def build_parser() -> argparse.ArgumentParser:
     ), default=None, help="additionally render with a figure formatter")
 
     inspect = sub.add_parser(
-        "inspect", help="artifact provenance, or the environment overlay"
+        "inspect", help="artifact provenance/telemetry, an event log, "
+        "or the environment overlay"
     )
     inspect.add_argument("artifact", nargs="?", default=None,
                          metavar="ARTIFACT",
                          help="artifact to inspect (default: show the "
                          "resolved environment overlay)")
+    inspect.add_argument("--events", metavar="PATH", default=None,
+                         help="summarise and render an obs event log "
+                         "(events-<pid>.jsonl) instead of an artifact")
+    inspect.add_argument("--metrics", action="store_true",
+                         help="with an artifact: render the telemetry "
+                         "section's per-cell metric series heads")
+
+    profile = sub.add_parser(
+        "profile", help="per-stage wall attribution across compute "
+        "planes (+ the obs overhead gate)"
+    )
+    profile.add_argument("--benchmark", action="append", dest="benchmarks",
+                         metavar="NAME",
+                         help="benchmark to profile (repeatable; "
+                         "default: mcf, bzip2)")
+    profile.add_argument("--mechanism", default="rsep-realistic",
+                         choices=sorted(MECHANISM_PRESETS))
+    profile.add_argument("--warmup", type=int, default=None,
+                         help="warm-up instructions (default: REPRO_WARMUP)")
+    profile.add_argument("--measure", type=int, default=None,
+                         help="measured instructions (default: "
+                         "REPRO_MEASURE)")
+    profile.add_argument("--combos", choices=("all", "current"),
+                         default="all",
+                         help="profile all four genrename × vecwarm "
+                         "planes, or only the environment's (default: all)")
+    profile.add_argument("--full-detail", action="store_true",
+                         help="profile a full-detail run instead of a "
+                         "sampled one (no warm phase)")
+    profile.add_argument("--gate", action="store_true",
+                         help="CI overhead gate: obs on must be "
+                         "bit-identical and within --tolerance of obs off")
+    profile.add_argument("--tolerance", type=float, default=0.05,
+                         help="with --gate: allowed KIPS overhead "
+                         "fraction (default: 0.05)")
+    profile.add_argument("--repeats", type=int, default=3,
+                         help="with --gate: interleaved A/B repeats "
+                         "(default: 3)")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the payload as JSON")
+
+    tail = sub.add_parser(
+        "tail", help="render (and optionally follow) the obs event "
+        "stream of a live or finished run"
+    )
+    tail.add_argument("--dir", metavar="DIR", default=None,
+                      help="event directory (default: REPRO_OBS_DIR, "
+                      "then .repro-obs)")
+    tail.add_argument("--follow", "-f", action="store_true",
+                      help="keep polling for new records until Ctrl-C")
+    tail.add_argument("--poll", type=float, default=0.5,
+                      help="with --follow: poll interval in seconds "
+                      "(default: 0.5)")
 
     serve = sub.add_parser(
         "serve", help="sweep service on a local Unix socket "
@@ -453,6 +711,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figures(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     if args.command == "serve":
         return _cmd_serve(args)
     return _cmd_inspect(args)

@@ -88,6 +88,20 @@ KNOWN_VARS: dict[str, tuple[str, str]] = {
         "ExperimentSpec.benchmarks (from_env default)",
         "benches/CLI: all 29 benchmarks instead of the representative 13",
     ),
+    "REPRO_OBS": (
+        "ExperimentSpec.obs.enabled",
+        "telemetry plane: span/event tracing + pipeline metrics "
+        "(default off; off = bit-identical, overhead-free)",
+    ),
+    "REPRO_OBS_DIR": (
+        "ExperimentSpec.obs.dir",
+        "event-stream directory (default .repro-obs)",
+    ),
+    "REPRO_METRICS_EVERY": (
+        "ExperimentSpec.obs.metrics_every",
+        "pipeline-metrics sample cadence in committed instructions "
+        "(default 1000; 0 = tracing only)",
+    ),
     "REPRO_PERF_LABEL": (
         "bench_perf_throughput CURRENT_LABEL",
         "ad-hoc trajectory label override",
@@ -287,6 +301,35 @@ def store_root_from_env() -> Path | None:
     cache_home = os.environ.get("XDG_CACHE_HOME")
     base = Path(cache_home) if cache_home else Path.home() / ".cache"
     return base / "repro" / "traces"
+
+
+def obs_enabled() -> bool:
+    """Whether the telemetry plane is on (``REPRO_OBS``; default off).
+
+    Off is the contract, not just the default: with the variable unset
+    the pipeline runs the identical step sequence, stats and artifact
+    digests are bit-identical, and no event file is ever opened
+    (DESIGN.md §13) — gated exactly like ``REPRO_COLUMNAR=0`` gates the
+    trace planes.
+    """
+    return flag(os.environ.get("REPRO_OBS"))
+
+
+def obs_dir_from_env() -> str | None:
+    """Event-stream directory (``REPRO_OBS_DIR``; ``None`` = default)."""
+    configured = os.environ.get("REPRO_OBS_DIR")
+    if configured is None or not configured.strip():
+        return None
+    return configured
+
+
+def metrics_every_from_env(default: int = 1000) -> int:
+    """Pipeline-metrics cadence in committed instructions
+    (``REPRO_METRICS_EVERY``; 0 disables metrics, keeping tracing)."""
+    configured = os.environ.get("REPRO_METRICS_EVERY")
+    if configured is None or not configured.strip():
+        return default
+    return max(0, int(configured))
 
 
 def full_benchmarks_from_env() -> bool:

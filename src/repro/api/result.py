@@ -32,6 +32,17 @@ from repro.pipeline.stats import Stats
 #: reject newer formats rather than guessing.
 FORMAT = 1
 
+#: Top-level sections this build understands.  Anything else a
+#: same-format artifact carries is preserved verbatim in
+#: ``RunResult.extra_sections`` (and re-emitted on save) so ``repro
+#: inspect`` can say "section X: not understood" instead of the loader
+#: failing opaquely — the forward-compat path the optional ``telemetry``
+#: section itself arrived through.
+KNOWN_SECTIONS = frozenset(
+    {"format", "fingerprint", "digest", "spec", "meta", "cells",
+     "telemetry"}
+)
+
 
 def host_metadata() -> dict[str, str]:
     """Provenance of the producing process (never part of any digest)."""
@@ -104,6 +115,17 @@ class RunResult:
     fingerprint: str = ""
     format: int = FORMAT
     meta: dict[str, str] = field(default_factory=dict)
+    #: Schema-versioned observability section (DESIGN.md §13): metric
+    #: series per simulated cell, the event-stream location, shard
+    #: lifecycle summaries.  ``None`` (the default, and the only value
+    #: an unobserved run produces) is omitted from the serialised form,
+    #: and the section never joins :meth:`digest` — so obs on/off runs
+    #: of one spec are digest-identical and obs-off artifacts are
+    #: byte-identical to pre-telemetry builds.
+    telemetry: dict | None = None
+    #: Unknown same-format top-level sections, preserved for inspection
+    #: and re-emitted on save (never interpreted, never digested).
+    extra_sections: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.fingerprint:
@@ -165,7 +187,7 @@ class RunResult:
         return cells_digest(self.cells)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "format": self.format,
             "fingerprint": self.fingerprint,
             "digest": self.digest(),
@@ -173,6 +195,11 @@ class RunResult:
             "meta": dict(self.meta),
             "cells": [cell.to_dict() for cell in self.cells],
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        for key, value in self.extra_sections.items():
+            payload.setdefault(key, value)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunResult":
@@ -183,12 +210,20 @@ class RunResult:
                 f"understands (max {FORMAT})"
             )
         spec = ExperimentSpec.from_dict(payload["spec"])
+        telemetry = payload.get("telemetry")
+        if telemetry is not None and not isinstance(telemetry, dict):
+            raise ValueError("telemetry section must be a JSON object")
         result = cls(
             spec=spec,
             cells=[CellResult.from_dict(c) for c in payload["cells"]],
             fingerprint=payload["fingerprint"],
             format=fmt,
             meta=dict(payload.get("meta", {})),
+            telemetry=telemetry,
+            extra_sections={
+                key: value for key, value in payload.items()
+                if key not in KNOWN_SECTIONS
+            },
         )
         if result.fingerprint != spec.fingerprint():
             raise ValueError(

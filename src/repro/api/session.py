@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.api.result import CellResult, RunResult
 from repro.api.spec import ExperimentSpec, StoreSpec
+from repro.obs import runtime as obs_runtime
 from repro.harness.sweep import SweepEngine, shared_engine
 from repro.pipeline.config import CoreConfig
 from repro.pipeline.simulator import Simulator
@@ -81,21 +82,30 @@ class Session:
         ran, and running the same spec twice (or on another session
         with the same engine state) yields digest-identical artifacts.
         """
-        swept = self.engine.sweep(
-            list(spec.benchmarks),
-            list(spec.mechanisms),
-            seeds=list(spec.seeds),
-            warmup=spec.window.warmup,
-            measure=spec.window.measure,
-            workers=spec.workers,
-            sampling=spec.sampling,
-        )
-        cells = [
-            CellResult(benchmark, name, result.seed, result.stats)
-            for (benchmark, name), results in swept.items()
-            for result in results
-        ]
-        return RunResult(spec=spec, cells=cells)
+        # The telemetry plane (DESIGN.md §13) activates for this scope
+        # when the spec enables it; otherwise REPRO_OBS steers it like
+        # any other plane variable.  Off (the default) is free: no
+        # runtime resolves and the artifact carries no telemetry.
+        with obs_runtime.activated(spec.obs):
+            swept = self.engine.sweep(
+                list(spec.benchmarks),
+                list(spec.mechanisms),
+                seeds=list(spec.seeds),
+                warmup=spec.window.warmup,
+                measure=spec.window.measure,
+                workers=spec.workers,
+                sampling=spec.sampling,
+            )
+            cells = [
+                CellResult(benchmark, name, result.seed, result.stats)
+                for (benchmark, name), results in swept.items()
+                for result in results
+            ]
+            result = RunResult(spec=spec, cells=cells)
+            active = obs_runtime.current()
+            if active is not None:
+                result.telemetry = active.telemetry_payload()
+        return result
 
     def run_sharded(
         self,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.api import codec, env
+from repro.obs.config import ObsSpec
 from repro.pipeline.config import MechanismConfig
 from repro.sampling.config import SamplingConfig
 
@@ -134,6 +135,11 @@ class ExperimentSpec:
     #: Like ``workers``, sharding executes without changing any result,
     #: so it never joins the fingerprint.
     shards: int = 0
+    #: Observability (DESIGN.md §13): tracing + metrics for the session
+    #: executing this spec.  Measurement-plane state like ``store`` —
+    #: it can never change a stat, so it never joins the fingerprint
+    #: (pinned by the obs golden tests).
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     def __post_init__(self) -> None:
         # Normalise list inputs so callers can pass plain lists.  A bare
@@ -187,6 +193,7 @@ class ExperimentSpec:
         store: StoreSpec | None = None,
         workers: int | None = None,
         shards: int | None = None,
+        obs: ObsSpec | None = None,
         strict: bool = False,
     ) -> "ExperimentSpec":
         """The single environment overlay: explicit beats env beats default.
@@ -232,6 +239,7 @@ class ExperimentSpec:
             store=StoreSpec.from_env() if store is None else store,
             workers=env.workers_from_env() if workers is None else workers,
             shards=env.shards_from_env() if shards is None else shards,
+            obs=ObsSpec.from_env() if obs is None else obs,
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ import dataclasses
 import multiprocessing
 
 from repro.api import env as api_env
+from repro.obs.runtime import obs_tracer
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.simulator import SimulationResult, Simulator
 from repro.sampling import SamplingConfig
@@ -158,12 +159,20 @@ class SweepEngine:
         cached = self._cells.get(key)
         if cached is not None:
             self.cell_hits += 1
+            obs_tracer().event(
+                "sweep.cell.memo", benchmark=benchmark,
+                mechanism=mechanism.name, seed=seed,
+            )
             return _copy_result(cached, benchmark, mechanism.name, seed)
         self.cell_misses += 1
-        result = self.simulator.run_benchmark(
-            benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
-            sampling=sampling,
-        )
+        with obs_tracer().span(
+            "sweep.cell", benchmark=benchmark, mechanism=mechanism.name,
+            seed=seed,
+        ):
+            result = self.simulator.run_benchmark(
+                benchmark, mechanism, warmup=warmup, measure=measure,
+                seed=seed, sampling=sampling,
+            )
         self._cells[key] = result
         return _copy_result(result, benchmark, mechanism.name, seed)
 

@@ -1,0 +1,119 @@
+"""Time-series pipeline metrics: preallocated, sampled, digest-neutral.
+
+A :class:`MetricsHub` rides on one :class:`~repro.pipeline.core.Pipeline`
+and snapshots its state every ``every`` committed instructions.  Two
+design rules keep it near-zero-overhead and bit-exact:
+
+* **No per-step work.**  ``Pipeline.run_until`` chunks its target at the
+  hub's next sample boundary and runs the unmodified inner step loop
+  between boundaries — the documented ``run_until``-chaining invariant
+  (chained calls with increasing targets execute the exact step sequence
+  of one call) is what makes the sampled run bit-identical to the
+  unsampled one.  The hub is consulted once per chunk, not per step.
+* **Raw cumulative values only.**  Samples record counters as-is (the
+  pipeline's monotone ``total_committed`` is the series' x-axis);
+  renderers difference them.  Recording deltas would need resets wired
+  into ``Stats.reset_window`` — raw series survive window resets for
+  free (a renderer just skips the one negative delta at the boundary).
+
+The flushed payload is schema-versioned (:data:`TELEMETRY_FORMAT`) and
+lands in the ``telemetry`` section of the ``RunResult`` artifact —
+*beside* the cells, never inside the content digest.
+"""
+
+from __future__ import annotations
+
+#: Telemetry payload layout version (the ``format`` key of the
+#: artifact's ``telemetry`` section).  Bump on incompatible changes;
+#: ``repro inspect --metrics`` reports rather than misreads the future.
+TELEMETRY_FORMAT = 1
+
+#: Per-sample series, in payload order.  Occupancies are instantaneous;
+#: everything else is the cumulative counter at the sample point.
+SERIES: tuple[str, ...] = (
+    # progress (x-axis first)
+    "total_committed", "cycles", "committed", "fetched",
+    # structure occupancy at the sample point
+    "rob", "iq", "lq", "sq", "ready",
+    # stall-reason breakdown (rename-blocked cycles by cause)
+    "stall_rob", "stall_iq", "stall_regs", "stall_lsq",
+    # control flow and speculation
+    "branches", "branch_mispredicts", "squashed_ops",
+    # per-predictor coverage / outcome counters
+    "dist_pred", "rsep_mispredicts", "zero_pred", "zero_mispredicts",
+    "value_pred", "vp_mispredicts", "load_forwards",
+)
+
+_INITIAL_CAPACITY = 256
+
+
+class MetricsHub:
+    """Preallocated counter arrays for one pipeline's sample stream."""
+
+    __slots__ = ("every", "next_due", "_data", "_n", "_capacity")
+
+    def __init__(self, every: int, capacity: int = _INITIAL_CAPACITY) -> None:
+        if every <= 0:
+            raise ValueError("metrics cadence must be positive")
+        self.every = every
+        self.next_due = every
+        self._capacity = max(16, capacity)
+        self._data: dict[str, list[int]] = {
+            name: [0] * self._capacity for name in SERIES
+        }
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, pipeline) -> None:
+        """Snapshot *pipeline* and advance the next sample boundary."""
+        if self._n == self._capacity:
+            grow = self._capacity
+            for column in self._data.values():
+                column.extend([0] * grow)
+            self._capacity += grow
+        stats = pipeline.stats
+        data = self._data
+        n = self._n
+        total = pipeline._total_committed
+        data["total_committed"][n] = total
+        data["cycles"][n] = stats.cycles
+        data["committed"][n] = stats.committed
+        data["fetched"][n] = pipeline._cursor
+        data["rob"][n] = len(pipeline.rob)
+        data["iq"][n] = len(pipeline.iq)
+        data["lq"][n] = len(pipeline.lsq._loads)
+        data["sq"][n] = len(pipeline.lsq._stores)
+        data["ready"][n] = len(pipeline._ready)
+        data["stall_rob"][n] = stats.stall_rob
+        data["stall_iq"][n] = stats.stall_iq
+        data["stall_regs"][n] = stats.stall_regs
+        data["stall_lsq"][n] = stats.stall_lsq
+        data["branches"][n] = stats.branches
+        data["branch_mispredicts"][n] = stats.branch_mispredicts
+        data["squashed_ops"][n] = stats.squashed_ops
+        data["dist_pred"][n] = stats.dist_pred
+        data["rsep_mispredicts"][n] = stats.rsep_mispredicts
+        data["zero_pred"][n] = stats.zero_pred
+        data["zero_mispredicts"][n] = stats.zero_mispredicts
+        data["value_pred"][n] = stats.value_pred
+        data["vp_mispredicts"][n] = stats.vp_mispredicts
+        data["load_forwards"][n] = stats.load_forwards
+        self._n = n + 1
+        # The boundary may be overshot by up to the commit width; land
+        # the next one on the following multiple of the cadence.
+        due = self.next_due
+        every = self.every
+        while due <= total:
+            due += every
+        self.next_due = due
+
+    def to_payload(self) -> dict:
+        """The versioned series block one cell contributes."""
+        n = self._n
+        return {
+            "every": self.every,
+            "samples": n,
+            "series": {name: self._data[name][:n] for name in SERIES},
+        }

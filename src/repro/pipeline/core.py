@@ -248,6 +248,15 @@ class Pipeline:
 
             install_fast_stages(self)
 
+        # Telemetry plane (DESIGN.md §13): a metrics hub samples this
+        # pipeline every N committed instructions — but only when an
+        # observability runtime is active (REPRO_OBS, or an enabled
+        # ObsSpec on the executing session).  None — the default — keeps
+        # run_until on its unchunked fast path: zero per-step cost.
+        from repro.obs.runtime import metrics_hub_for_pipeline
+
+        self._metrics = metrics_hub_for_pipeline()
+
     # ==================================================================
     # Public driver
     # ==================================================================
@@ -284,9 +293,35 @@ class Pipeline:
         call with the final target, which is what lets the sampled-
         simulation controller chunk a window into intervals while its
         100%-duty degenerate case stays bit-identical to :meth:`run`.
+        The metrics hub rides the same invariant: with observability on,
+        the target is chunked at sample boundaries and the unmodified
+        step loop runs between them, so the step sequence — and every
+        stat — is bit-identical to the unobserved run.
         """
+        hub = self._metrics
+        if hub is not None:
+            self._run_until_metered(target_committed, hub)
+            return
         while self._total_committed < target_committed and not self._finished():
             self._step()
+
+    def _run_until_metered(self, target_committed: int, hub) -> None:
+        """:meth:`run_until` chunked at the hub's sample boundaries.
+
+        Commit is up-to-width per cycle, so a boundary may be overshot
+        by at most ``commit_width - 1`` instructions — deterministically,
+        which is all the series' x-axis (``total_committed``) needs.
+        """
+        step = self._step
+        while (self._total_committed < target_committed
+               and not self._finished()):
+            bound = hub.next_due
+            if bound > target_committed:
+                bound = target_committed
+            while self._total_committed < bound and not self._finished():
+                step()
+            if self._total_committed >= hub.next_due:
+                hub.sample(self)
 
     @property
     def total_committed(self) -> int:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import env as api_env
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import obs_tracer
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.core import Pipeline
 from repro.pipeline.stats import Stats
@@ -135,7 +137,11 @@ class Simulator:
                 self._trace_cache[key] = stored
                 return stored[0]
         built = build_benchmark(benchmark, seed)
-        trace = execute(built.program, instructions, built.machine())
+        with obs_tracer().span(
+            "trace.interp", benchmark=benchmark, seed=seed,
+            instructions=instructions,
+        ):
+            trace = execute(built.program, instructions, built.machine())
         if columnar:
             payload = pack_trace(trace, instructions)
             packed = ColumnarTrace.from_payload(payload)
@@ -181,7 +187,16 @@ class Simulator:
         trace = self.trace_for(benchmark, seed, warmup + measure + _TRACE_SLACK)
         pipeline = Pipeline(trace, self.core_config, mechanisms, seed)
         stats = pipeline.run(measure, warmup)
+        self._collect_telemetry(benchmark, mechanisms, seed, pipeline)
         return SimulationResult(benchmark, mechanisms.name, seed, stats)
+
+    @staticmethod
+    def _collect_telemetry(benchmark, mechanisms, seed, pipeline) -> None:
+        """Bank the pipeline's metric series with the active obs runtime
+        (no-op — one ``None`` check — when nothing observes)."""
+        runtime = obs_runtime.current()
+        if runtime is not None:
+            runtime.collect_cell(benchmark, mechanisms.name, seed, pipeline)
 
     def _checkpoint_token(
         self, mechanisms: MechanismConfig, warmup: int
@@ -236,6 +251,7 @@ class Simulator:
                     capture_checkpoint(pipeline), benchmark, seed, token
                 )
         stats = run.measure(measure)
+        self._collect_telemetry(benchmark, mechanisms, seed, pipeline)
         return SimulationResult(benchmark, mechanisms.name, seed, stats)
 
     def run_trace(

@@ -25,6 +25,7 @@ import dataclasses
 import math
 
 from repro.common.rng import XorShift64
+from repro.obs.runtime import obs_tracer
 from repro.pipeline.stats import Stats
 from repro.sampling.config import SamplingConfig
 from repro.sampling.vecwarm import make_warmer
@@ -92,7 +93,10 @@ class SampledRun:
         if instructions <= 0:
             return 0
         start = pipeline._cursor
-        end, cycle = self.warmer.warm(start, instructions, pipeline.cycle)
+        with obs_tracer().span(
+            "sample.warmup", start=start, instructions=instructions
+        ):
+            end, cycle = self.warmer.warm(start, instructions, pipeline.cycle)
         pipeline.skip_to(end, cycle)
         return end - start
 
@@ -118,6 +122,9 @@ class SampledRun:
         warm_span = skip - ramp
         stats = pipeline.stats
         trace_length = len(pipeline.trace)
+        # Resolved once per window: a few spans per *interval* (not per
+        # step), and the null tracer's span is one shared no-op object.
+        tracer = obs_tracer()
         samples: list[tuple[int, int]] = []
         debits = [0] * len(_COUNTER_FIELDS) if skip > 0 and ramp else None
         covered = 0
@@ -152,7 +159,11 @@ class SampledRun:
                 span = min(detail, instructions - covered)
                 committed_before = stats.committed
                 cycles_before = stats.cycles
-                pipeline.run_until(pipeline.total_committed + span)
+                with tracer.span(
+                    "sample.interval", index=len(samples), span=span,
+                    start=pipeline.total_committed,
+                ):
+                    pipeline.run_until(pipeline.total_committed + span)
                 d_committed = stats.committed - committed_before
                 d_cycles = stats.cycles - cycles_before
                 if d_committed:
@@ -170,11 +181,15 @@ class SampledRun:
                     jittered = warm_span - half + self._rng.next_below(
                         2 * half + 1
                     )
-                    end, cycle = self.warmer.warm(
-                        resume,
-                        min(jittered, instructions - covered),
-                        pipeline.cycle,
-                    )
+                    with tracer.span(
+                        "sample.warm_gap", start=resume,
+                        instructions=min(jittered, instructions - covered),
+                    ):
+                        end, cycle = self.warmer.warm(
+                            resume,
+                            min(jittered, instructions - covered),
+                            pipeline.cycle,
+                        )
                     warmed += end - resume
                     covered += end - resume
                     pipeline.skip_to(end, cycle)

@@ -29,6 +29,7 @@ import socket
 from pathlib import Path
 
 from repro.api.spec import ExperimentSpec
+from repro.obs.runtime import obs_tracer
 from repro.service.supervisor import ShardedSweepResult, ShardSupervisor
 
 #: Stream limit: full-grid specs and multi-hundred-cell artifacts are
@@ -61,6 +62,11 @@ class SweepServer:
     # ------------------------------------------------------------------
 
     async def _respond(self, request_text: str) -> dict:
+        tracer = obs_tracer()
+        serial = self.requests_served + 1
+        tracer.event(
+            "serve.request", serial=serial, bytes=len(request_text)
+        )
         try:
             request = json.loads(request_text)
             if not isinstance(request, dict) or "spec" not in request:
@@ -72,7 +78,15 @@ class SweepServer:
                     else spec.shards
             outcome = await self.supervisor.run_async(spec, shards=shards)
         except Exception as error:  # noqa: BLE001 - protocol boundary
+            tracer.event(
+                "serve.response", serial=serial, ok=False,
+                error=type(error).__name__,
+            )
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        tracer.event(
+            "serve.response", serial=serial, ok=True,
+            mode=outcome.mode, complete=outcome.complete,
+        )
         return {"ok": True, "sharded": outcome.to_dict()}
 
     async def _handle(

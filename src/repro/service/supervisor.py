@@ -40,6 +40,8 @@ from pathlib import Path
 from repro.api import env as api_env
 from repro.api.result import RunResult
 from repro.api.spec import ExperimentSpec
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import obs_tracer
 from repro.service.faults import FaultPlan
 from repro.service.shards import (
     CellId,
@@ -52,13 +54,48 @@ from repro.service.worker import execute_shard, shard_process_main
 
 
 @dataclass
+class ShardReport:
+    """One shard's attempt summary: why it retried, for how long.
+
+    The retry/quarantine story used to live only in the supervisor's
+    event log; this summary travels inside the merged result, so a hole
+    is explainable (`which kinds of failure, how much backoff, was it
+    quarantined`) without the event stream.
+    """
+
+    attempts: int = 0
+    failure_kinds: tuple[str, ...] = ()
+    backoff_seconds: float = 0.0
+    quarantined: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "failure_kinds": list(self.failure_kinds),
+            "backoff_seconds": round(self.backoff_seconds, 4),
+            "quarantined": self.quarantined,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardReport":
+        return cls(
+            attempts=int(payload["attempts"]),
+            failure_kinds=tuple(payload["failure_kinds"]),
+            backoff_seconds=float(payload["backoff_seconds"]),
+            quarantined=bool(payload["quarantined"]),
+        )
+
+
+@dataclass
 class ShardedSweepResult:
     """What a sharded sweep returns: the artifact plus its fault story.
 
     ``result`` carries every cell that completed; ``holes`` explicitly
     enumerates the (benchmark, mechanism, seed) cells lost to
     quarantined shards — an incomplete sweep is a *partial result*, not
-    an exception.  ``attempts`` and ``failures`` are the audit trail.
+    an exception.  ``attempts`` and ``failures`` are the audit trail;
+    ``shard_reports`` is its per-shard digest (attempts, failure kinds,
+    total backoff, quarantine verdict).
     """
 
     result: RunResult
@@ -67,6 +104,7 @@ class ShardedSweepResult:
     attempts: dict[int, int] = field(default_factory=dict)
     failures: tuple[str, ...] = ()
     mode: str = "sharded"
+    shard_reports: dict[int, ShardReport] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -83,6 +121,10 @@ class ShardedSweepResult:
             "attempts": {str(k): v for k, v in self.attempts.items()},
             "failures": list(self.failures),
             "mode": self.mode,
+            "shard_reports": {
+                str(index): report.to_dict()
+                for index, report in sorted(self.shard_reports.items())
+            },
         }
 
     @classmethod
@@ -96,6 +138,11 @@ class ShardedSweepResult:
             attempts={int(k): v for k, v in payload["attempts"].items()},
             failures=tuple(payload["failures"]),
             mode=payload["mode"],
+            # Absent in pre-telemetry payloads: reports stay empty.
+            shard_reports={
+                int(index): ShardReport.from_dict(report)
+                for index, report in payload.get("shard_reports", {}).items()
+            },
         )
 
 
@@ -166,6 +213,9 @@ class ShardSupervisor:
         spool = Path(tempfile.mkdtemp(prefix="repro-shards-"))
         results: dict[int, ShardResult] = {}
         attempts: dict[int, int] = {s.index: 0 for s in shard_specs}
+        reports: dict[int, ShardReport] = {
+            s.index: ShardReport() for s in shard_specs
+        }
         failures: list[str] = []
         quarantined: list[int] = []
         queue: asyncio.Queue = asyncio.Queue()
@@ -174,6 +224,13 @@ class ShardSupervisor:
         slots = min(len(shard_specs), self.max_workers or 2)
         outstanding = len(shard_specs)
         loop = asyncio.get_running_loop()
+        # Slot coroutines interleave, so spans use the explicit
+        # begin/end API (a thread-nested stack would mis-parent them).
+        tracer = obs_tracer()
+        tracer.event(
+            "shard.plan", shards=len(shard_specs), cells=spec.cells,
+            fingerprint=spec.fingerprint(),
+        )
 
         def finish_one() -> None:
             nonlocal outstanding
@@ -189,16 +246,36 @@ class ShardSupervisor:
                     return
                 shard, attempt = item
                 attempts[shard.index] = attempt + 1
+                report = reports[shard.index]
+                report.attempts = attempt + 1
+                tracer.event(
+                    "shard.dispatch", shard=shard.index, attempt=attempt + 1,
+                    cells=len(shard.cell_ids()),
+                )
+                span = tracer.begin(
+                    "shard.attempt", shard=shard.index, attempt=attempt + 1
+                )
                 outcome = await self._attempt(shard, attempt, spool)
                 if isinstance(outcome, ShardResult):
+                    tracer.end(span, "shard.attempt",
+                               shard=shard.index, status="ok")
                     results[shard.index] = outcome
                     finish_one()
                     continue
+                kind, reason = outcome
+                tracer.end(span, "shard.attempt",
+                           shard=shard.index, status="failed", kind=kind)
+                report.failure_kinds = report.failure_kinds + (kind,)
                 failures.append(
                     f"shard {shard.index} attempt {attempt + 1}/"
-                    f"{self.max_attempts}: {outcome}"
+                    f"{self.max_attempts}: {reason}"
                 )
                 if attempt + 1 >= self.max_attempts:
+                    report.quarantined = True
+                    tracer.event(
+                        "shard.quarantine", shard=shard.index,
+                        attempts=attempt + 1, kind=kind,
+                    )
                     quarantined.append(shard.index)
                     finish_one()
                     continue
@@ -206,6 +283,12 @@ class ShardSupervisor:
                 # is immediately free for other shards.
                 delay = min(
                     self.backoff_cap, self.backoff_base * (2 ** attempt)
+                )
+                report.backoff_seconds += delay
+                tracer.event(
+                    "shard.retry", shard=shard.index,
+                    next_attempt=attempt + 2, backoff=round(delay, 4),
+                    kind=kind,
                 )
                 loop.call_later(
                     delay, queue.put_nowait, (shard, attempt + 1)
@@ -215,9 +298,22 @@ class ShardSupervisor:
             await asyncio.gather(*(slot() for _ in range(slots)))
         finally:
             shutil.rmtree(spool, ignore_errors=True)
-        merged, holes = merge_shards(
-            spec, [results[index] for index in sorted(results)]
-        )
+        with tracer.span(
+            "shard.merge", shards=len(results), holes_expected=len(quarantined)
+        ):
+            merged, holes = merge_shards(
+                spec, [results[index] for index in sorted(results)]
+            )
+        runtime = obs_runtime.current()
+        if runtime is not None:
+            merged.telemetry = runtime.telemetry_payload(
+                extra={
+                    "shards": {
+                        str(index): report.to_dict()
+                        for index, report in sorted(reports.items())
+                    }
+                }
+            )
         return ShardedSweepResult(
             result=merged,
             holes=holes,
@@ -225,15 +321,18 @@ class ShardSupervisor:
             attempts=attempts,
             failures=tuple(failures),
             mode="sharded",
+            shard_reports=reports,
         )
 
     # ------------------------------------------------------------------
 
     async def _attempt(
         self, shard: ShardSpec, attempt: int, spool: Path
-    ) -> ShardResult | str:
-        """One attempt at one shard; a ``str`` return is the failure
-        reason (retriable)."""
+    ) -> ShardResult | tuple[str, str]:
+        """One attempt at one shard; a ``(kind, reason)`` return is a
+        retriable failure — ``kind`` is the machine-readable class
+        (spawn/hang/death/no-artifact/corrupt/foreign), ``reason`` the
+        human-readable line that lands in ``failures``."""
         fault = self.faults.fault_for(shard.index, attempt)
         out_path = spool / f"shard-{shard.index}-attempt-{attempt}.json"
         process = multiprocessing.Process(
@@ -251,8 +350,9 @@ class ShardSupervisor:
                 return execute_shard(shard)
             except Exception as inline_error:  # noqa: BLE001
                 return (
+                    "spawn",
                     f"no worker process ({error}) and inline execution "
-                    f"failed: {inline_error}"
+                    f"failed: {inline_error}",
                 )
         loop = asyncio.get_running_loop()
         deadline_at = loop.time() + self.deadline
@@ -264,32 +364,43 @@ class ShardSupervisor:
             if process.is_alive():  # pragma: no cover - SIGTERM sufficed
                 process.kill()
                 process.join(timeout=5.0)
-            return f"deadline exceeded ({self.deadline:g}s); worker killed"
+            return (
+                "hang",
+                f"deadline exceeded ({self.deadline:g}s); worker killed",
+            )
         process.join()
         if process.exitcode != 0:
-            return f"worker died (exit code {process.exitcode})"
+            return ("death", f"worker died (exit code {process.exitcode})")
         try:
             text = out_path.read_text(encoding="utf-8")
         except OSError as error:
-            return f"worker exited cleanly but left no artifact ({error})"
+            return (
+                "no-artifact",
+                f"worker exited cleanly but left no artifact ({error})",
+            )
         try:
             result = ShardResult.from_json(text)
         except (ValueError, KeyError, TypeError) as error:
-            return f"shard artifact rejected: {error}"
+            return ("corrupt", f"shard artifact rejected: {error}")
         if result.index != shard.index:
             return (
+                "foreign",
                 f"artifact is for shard {result.index}, expected "
-                f"{shard.index}"
+                f"{shard.index}",
             )
         if result.fingerprint != shard.fingerprint:
             return (
+                "foreign",
                 f"artifact fingerprint {result.fingerprint} does not match "
-                f"the spec ({shard.fingerprint})"
+                f"the spec ({shard.fingerprint})",
             )
         produced = {
             (cell.benchmark, cell.mechanism, cell.seed)
             for cell in result.cells
         }
         if produced != set(shard.cell_ids()):
-            return "artifact cell set does not match the shard's work order"
+            return (
+                "corrupt",
+                "artifact cell set does not match the shard's work order",
+            )
         return result

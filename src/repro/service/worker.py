@@ -23,6 +23,7 @@ import time
 
 from repro.api.result import CellResult
 from repro.common.atomicio import atomic_write_text
+from repro.obs.runtime import obs_tracer
 from repro.service.shards import ShardResult, ShardSpec
 
 #: How long a ``hang``-faulted worker sleeps — far past any sane
@@ -93,7 +94,13 @@ def shard_process_main(
         time.sleep(HANG_SLEEP_SECONDS)
         os._exit(14)  # pragma: no cover - the supervisor kills us first
     shard = ShardSpec.from_json(payload_text)
-    text = execute_shard(shard).to_json()
+    # The worker inherits REPRO_OBS through the environment and, thanks
+    # to the tracer's ``{pid}`` path template, appends to its *own*
+    # event file — no cross-process interleaving.
+    with obs_tracer().span(
+        "worker.shard", shard=shard.index, cells=len(shard.cells)
+    ):
+        text = execute_shard(shard).to_json()
     if fault == "corrupt":
         text = text[: len(text) // 2]
     elif fault == "tamper":
