@@ -31,8 +31,8 @@ from repro.api import env as api_env
 from repro.api.figures import FIGURE_NAMES, render_figure, run_figure
 from repro.api.result import RunResult
 from repro.api.session import Session
-from repro.api.spec import ExperimentSpec, WindowSpec
-from repro.harness.reporting import Table, format_ipc
+from repro.api.spec import ExperimentSpec, StoreSpec, WindowSpec
+from repro.harness.reporting import Table, format_ipc, harmonic_mean
 from repro.pipeline.config import MECHANISM_PRESETS, MechanismConfig
 
 PROG = "repro"
@@ -95,7 +95,8 @@ def _spec_summary(spec: ExperimentSpec) -> str:
         f"store       : "
         + ("disabled" if not spec.store.enabled
            else (spec.store.path or "default cache"))
-        + f", columnar {'on' if spec.store.columnar else 'off'}",
+        + f", columnar {'on' if spec.store.columnar else 'off'}"
+        + f", lake {'on' if spec.store.result_lake else 'off'}",
         f"workers     : {spec.workers}",
         f"shards      : {spec.shards if spec.shards > 1 else 'in-process'}",
         f"cells       : {spec.cells}",
@@ -136,13 +137,20 @@ def _cmd_sweep(args) -> int:
             return sharded_smoke(shards=args.shards)
         from repro.harness import sweep as sweep_module
 
-        smoke_args = ["--smoke"] + (["--sampled"] if args.sampled else [])
+        smoke_args = (
+            ["--smoke"]
+            + (["--sampled"] if args.sampled else [])
+            + (["--lake"] if args.lake else [])
+        )
         return sweep_module.main(smoke_args)
     sampling = None
-    if args.sampled:
-        from dataclasses import replace
+    store = None
+    from dataclasses import replace
 
+    if args.sampled:
         sampling = replace(api_env.sampling_from_env(), enabled=True)
+    if args.lake:
+        store = replace(StoreSpec.from_env(), result_lake=True)
     try:
         spec = ExperimentSpec.from_env(
             benchmarks=args.benchmarks,
@@ -151,6 +159,7 @@ def _cmd_sweep(args) -> int:
             warmup=args.warmup,
             measure=args.measure,
             sampling=sampling,
+            store=store,
             workers=args.workers,
             shards=args.shards,
         )
@@ -256,7 +265,100 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _lake_store_from_arg(path_arg: str):
+    """Resolve a ``--lake [DIR]`` argument to a ``TraceStore``.
+
+    An empty argument (bare ``--lake``) means the environment's store
+    root; returns ``None`` when that resolves to persistence-disabled.
+    """
+    from repro.workloads.store import TraceStore
+
+    if path_arg:
+        return TraceStore(path_arg)
+    root = api_env.store_root_from_env()
+    return TraceStore(root) if root is not None else None
+
+
+def _cell_ipc(payload: dict) -> float | None:
+    stats = payload["stats"]
+    cycles = stats.get("cycles")
+    if not cycles:
+        return None
+    return stats.get("committed", 0) / cycles
+
+
+def _report_lake(path_arg: str) -> int:
+    """``repro report --lake``: query across every cached cell.
+
+    Groups cells by (mechanism, window, sampling) configuration with
+    harmonic-mean IPC per group, then renders the per-mechanism ×
+    per-benchmark trend — the cross-run view no single ``RunResult``
+    artifact has.
+    """
+    store = _lake_store_from_arg(path_arg)
+    if store is None:
+        print("repro report --lake: the trace store is disabled "
+              "(REPRO_TRACE_STORE=off); pass --lake DIR", file=sys.stderr)
+        return 2
+    groups: dict[tuple, list] = {}
+    total = unreadable = 0
+    for _, payload in store.iter_cells():
+        total += 1
+        if payload is None:
+            unreadable += 1
+            continue
+        meta = payload.get("meta") or {}
+        key = (
+            str(meta.get("mechanism", "?")),
+            f"{meta.get('warmup', '?')}+{meta.get('measure', '?')}",
+            str(meta.get("sampling", "?"))[:12],
+        )
+        groups.setdefault(key, []).append(payload)
+    print(f"# result lake at {store.root}")
+    print(f"{total} cell artifact(s), {unreadable} unreadable/tampered "
+          "(these serve as misses and are overwritten on re-simulation)")
+    if not groups:
+        return 0
+    table = Table(["mechanism", "window", "sampling", "cells",
+                   "benchmarks", "hmean IPC"])
+    for (mechanism, window, sampling), cells in sorted(groups.items()):
+        ipcs = [ipc for ipc in map(_cell_ipc, cells) if ipc is not None]
+        benchmarks = {str(c.get("benchmark", "?")) for c in cells}
+        table.add_row(
+            mechanism, window, sampling, str(len(cells)),
+            str(len(benchmarks)),
+            f"{harmonic_mean(ipcs):.3f}" if ipcs else "-",
+        )
+    print()
+    print(table.render())
+    by_mb: dict[tuple[str, str], list] = {}
+    for (mechanism, _, _), cells in groups.items():
+        for cell in cells:
+            key = (mechanism, str(cell.get("benchmark", "?")))
+            by_mb.setdefault(key, []).append(cell)
+    trend = Table(["mechanism", "benchmark", "cells", "hmean IPC"])
+    for (mechanism, benchmark), cells in sorted(by_mb.items()):
+        ipcs = [ipc for ipc in map(_cell_ipc, cells) if ipc is not None]
+        trend.add_row(
+            mechanism, benchmark, str(len(cells)),
+            f"{harmonic_mean(ipcs):.3f}" if ipcs else "-",
+        )
+    print()
+    print(trend.render())
+    return 0
+
+
 def _cmd_report(args) -> int:
+    if args.lake is not None:
+        if args.artifacts or args.figure:
+            print("repro report --lake queries the lake; it cannot take "
+                  "artifacts or --figure", file=sys.stderr)
+            return 2
+        return _report_lake(args.lake)
+    if not args.artifacts:
+        print("repro report: give artifact path(s), or --lake [DIR] to "
+              "query the result lake", file=sys.stderr)
+        return 2
     status = 0
     for path in args.artifacts:
         try:
@@ -342,7 +444,45 @@ def _inspect_events(path: str) -> int:
     return 0
 
 
+def _inspect_lake(path_arg: str) -> int:
+    """``repro inspect --lake``: lake provenance at a glance."""
+    store = _lake_store_from_arg(path_arg)
+    if store is None:
+        print("repro inspect --lake: the trace store is disabled "
+              "(REPRO_TRACE_STORE=off); pass --lake DIR", file=sys.stderr)
+        return 2
+    total = unreadable = 0
+    benchmarks: set[str] = set()
+    mechanisms: set[str] = set()
+    versions: set[str] = set()
+    for _, payload in store.iter_cells():
+        total += 1
+        if payload is None:
+            unreadable += 1
+            continue
+        benchmarks.add(str(payload.get("benchmark", "?")))
+        meta = payload.get("meta") or {}
+        mechanisms.add(str(meta.get("mechanism", "?")))
+        versions.add(str(meta.get("workload_version", "?")))
+
+    def listing(values: set[str], limit: int = 8) -> str:
+        ordered = sorted(values)
+        tail = ", ..." if len(ordered) > limit else ""
+        return f"{len(ordered)} ({', '.join(ordered[:limit])}{tail})"
+
+    print(f"# result lake at {store.root}")
+    print(f"cells       : {total} readable "
+          f"{total - unreadable}, unreadable/tampered {unreadable}")
+    if total - unreadable:
+        print(f"benchmarks  : {listing(benchmarks)}")
+        print(f"mechanisms  : {listing(mechanisms)}")
+        print(f"versions    : {listing(versions)} (workload code)")
+    return 0
+
+
 def _cmd_inspect(args) -> int:
+    if getattr(args, "lake", None) is not None:
+        return _inspect_lake(args.lake)
     if getattr(args, "events", None):
         return _inspect_events(args.events)
     if args.artifact:
@@ -550,6 +690,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run interval-sampled (REPRO_INTERVAL and "
                        "friends); with --smoke: also gate sampled "
                        "simulation")
+    sweep.add_argument("--lake", action="store_true",
+                       help="serve cells from (and populate) the "
+                       "spec-level result lake in the trace store; with "
+                       "--smoke: run the incremental-sweep gate (a fresh "
+                       "process on a warm lake must simulate zero cells)")
     sweep.add_argument("--benchmark", action="append", dest="benchmarks",
                        metavar="NAME",
                        help="benchmark (repeatable; default: the "
@@ -603,10 +748,15 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report", help="render stored RunResult artifacts"
     )
-    report.add_argument("artifacts", nargs="+", metavar="ARTIFACT")
+    report.add_argument("artifacts", nargs="*", metavar="ARTIFACT")
     report.add_argument("--figure", choices=sorted(
         name for name in FIGURE_NAMES if name != "fig1"
     ), default=None, help="additionally render with a figure formatter")
+    report.add_argument("--lake", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="query across the result lake's cached "
+                        "cells instead of an artifact (DIR defaults to "
+                        "the environment's store root)")
 
     inspect = sub.add_parser(
         "inspect", help="artifact provenance/telemetry, an event log, "
@@ -622,6 +772,11 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--metrics", action="store_true",
                          help="with an artifact: render the telemetry "
                          "section's per-cell metric series heads")
+    inspect.add_argument("--lake", nargs="?", const="", default=None,
+                         metavar="DIR",
+                         help="summarise the result lake (entry counts, "
+                         "benchmarks, mechanisms, workload versions; DIR "
+                         "defaults to the environment's store root)")
 
     profile = sub.add_parser(
         "profile", help="per-stage wall attribution across compute "

@@ -61,6 +61,10 @@ KNOWN_VARS: dict[str, tuple[str, str]] = {
         "ExperimentSpec.store.columnar",
         "packed-column runtime trace plane (default on)",
     ),
+    "REPRO_RESULT_LAKE": (
+        "ExperimentSpec.store.result_lake",
+        "spec-level result lake: serve cells from the store (default off)",
+    ),
     "REPRO_GENRENAME": (
         "pipeline.genrename install gate",
         "generated per-mechanism rename/issue loops (default on)",
@@ -301,6 +305,18 @@ def store_root_from_env() -> Path | None:
     cache_home = os.environ.get("XDG_CACHE_HOME")
     base = Path(cache_home) if cache_home else Path.home() / ".cache"
     return base / "repro" / "traces"
+
+
+def result_lake_from_env() -> bool:
+    """Whether the spec-level result lake is on (``REPRO_RESULT_LAKE``).
+
+    Default off — off is today's behaviour, bit-identical (CI-gated).
+    On, the sweep engine consults the trace store for per-cell ``Stats``
+    artifacts before simulating and populates it after (DESIGN.md §14);
+    served cells are digest-identical to fresh simulation, so the lake
+    never joins any fingerprint.
+    """
+    return flag(os.environ.get("REPRO_RESULT_LAKE"))
 
 
 def obs_enabled() -> bool:

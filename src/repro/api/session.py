@@ -45,11 +45,20 @@ class Session:
             self.engine = shared_engine(core_config)
         else:
             root = store.resolve_root()
-            self.engine = SweepEngine(simulator=Simulator(
-                core_config,
-                trace_store=TraceStore(root) if root is not None else None,
-                columnar=store.columnar,
-            ))
+            self.engine = SweepEngine(
+                simulator=Simulator(
+                    core_config,
+                    trace_store=(
+                        TraceStore(root) if root is not None else None
+                    ),
+                    columnar=store.columnar,
+                ),
+                # Pinned, not env-following: an explicit spec always
+                # wins over ambient state (shared-engine sessions follow
+                # the environment, which for_spec only allows when the
+                # spec agrees with it anyway).
+                result_lake=store.result_lake,
+            )
         self.simulator = self.engine.simulator
 
     @classmethod

@@ -61,18 +61,23 @@ class StoreSpec:
     ``path=None`` means the default cache location; ``enabled=False``
     disables persistence entirely.  ``columnar`` selects the packed
     runtime trace plane (DESIGN.md §9) — the default; the eager plane
-    survives as the differential-testing oracle.  None of these affect
-    simulation *results* (bit-identical either way, gated by the
-    equivalence suites), so the store never joins the spec fingerprint.
+    survives as the differential-testing oracle.  ``result_lake``
+    (default off) additionally serves per-cell ``Stats`` artifacts from
+    the store before simulating and populates them after (DESIGN.md
+    §14).  None of these affect simulation *results* (lake-served cells
+    are digest-identical to fresh runs, gated by the incremental-sweep
+    CI gate), so the store never joins the spec fingerprint.
     """
 
     path: str | None = None
     enabled: bool = True
     columnar: bool = True
+    result_lake: bool = False
 
     @classmethod
     def from_env(cls) -> "StoreSpec":
-        """``REPRO_TRACE_STORE`` / ``REPRO_COLUMNAR``.
+        """``REPRO_TRACE_STORE`` / ``REPRO_COLUMNAR`` /
+        ``REPRO_RESULT_LAKE``.
 
         An unset store variable yields ``path=None`` (the default cache
         location), NOT a materialised absolute path: a pristine
@@ -86,6 +91,7 @@ class StoreSpec:
             path=path,
             enabled=enabled,
             columnar=env.columnar_from_env(),
+            result_lake=env.result_lake_from_env(),
         )
 
     def resolve_root(self) -> Path | None:

@@ -80,16 +80,13 @@ class ExperimentRunner:
         engine: SweepEngine | None = None,
         sampling: SamplingConfig | None = None,
     ) -> None:
-        if (
-            engine is not None
-            and core_config is not None
-            and engine.core_config != core_config
-        ):
-            raise ValueError(
-                "core_config conflicts with the passed engine's; give one "
-                "or the other (cell memo keys do not cover the core config)"
-            )
-        self.engine = engine or shared_engine(core_config)
+        if engine is not None:
+            # Cell keys cover the core fingerprint, so an engine can
+            # serve any core config soundly: a differing core gets the
+            # engine's cache-sharing variant instead of an error.
+            self.engine = engine.variant(core_config)
+        else:
+            self.engine = shared_engine(core_config)
         self.simulator = self.engine.simulator
         self.benchmarks = benchmarks or benchmark_names()
         self.seeds = seeds or api_env.seeds_from_env()

@@ -34,17 +34,29 @@ the warmed store, and fails if any path disagrees.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import multiprocessing
 
 from repro.api import env as api_env
 from repro.obs.runtime import obs_tracer
 from repro.pipeline.config import CoreConfig, MechanismConfig
 from repro.pipeline.simulator import SimulationResult, Simulator
+from repro.pipeline.stats import Stats
 from repro.sampling import SamplingConfig
+from repro.workloads.store import CELL_FORMAT, workload_code_version
 
 #: Cell key: (benchmark, seed, warmup, measure, mechanism fingerprint,
-#: sampling fingerprint).
-CellKey = tuple[str, int, int, int, str, str]
+#: sampling fingerprint, core-config fingerprint).  The core fingerprint
+#: makes the memo sound for any core configuration — two cores can
+#: never collide on a key — which is also what lets engines with
+#: different cores share one cell table (see :meth:`SweepEngine.variant`)
+#: and what makes a persistent result lake keyed the same way safe.
+CellKey = tuple[str, int, int, int, str, str, str]
+
+#: The exact Stats schema this build writes/reads in lake cells.  A lake
+#: entry whose stats keys differ (written by an older/newer build under
+#: the same CELL_FORMAT) is a miss, never a misread.
+_STATS_FIELDS = frozenset(f.name for f in dataclasses.fields(Stats))
 
 
 def mechanism_fingerprint(mechanism: MechanismConfig) -> str:
@@ -75,29 +87,38 @@ def _copy_result(
     return SimulationResult(benchmark, name, seed, stats)
 
 
-def _run_cells_task(payload) -> list[SimulationResult]:
+def _run_cells_task(payload):
     """Worker entry point: simulate one benchmark's missing cells.
 
     Chunked per benchmark so the worker interprets (or, warm, loads) each
     trace once and reuses it across mechanisms.  Workers use the parent
     engine's trace store (its root travels in the payload; ``None`` means
     the parent disabled persistence), so the shared on-disk store makes
-    interpretation once-per-machine even across workers.
+    interpretation once-per-machine even across workers.  The lake gate
+    travels as a resolved bool — workers consult and populate the shared
+    result lake exactly like the parent would, never the environment —
+    and the worker's (simulated, lake-hit) counts travel back so the
+    parent's counters stay exact.
     """
     from repro.workloads.store import TraceStore
 
     (
         core_config, store_root, benchmark, cells, warmup, measure, sampling,
+        result_lake,
     ) = payload
     store = TraceStore(store_root) if store_root is not None else None
-    simulator = Simulator(core_config, trace_store=store)
-    return [
-        simulator.run_benchmark(
-            benchmark, mechanism, warmup=warmup, measure=measure, seed=seed,
+    engine = SweepEngine(
+        simulator=Simulator(core_config, trace_store=store),
+        result_lake=result_lake,
+    )
+    results = [
+        engine.run_cell(
+            benchmark, mechanism, seed=seed, warmup=warmup, measure=measure,
             sampling=sampling,
         )
         for mechanism, seed in cells
     ]
+    return results, engine.cell_misses, engine.lake_hits
 
 
 class SweepEngine:
@@ -108,15 +129,71 @@ class SweepEngine:
         core_config: CoreConfig | None = None,
         simulator: Simulator | None = None,
         sampling: SamplingConfig | None = None,
+        result_lake: bool | None = None,
     ) -> None:
         self.simulator = simulator or Simulator(core_config)
         self.core_config = self.simulator.core_config
+        self._core_fp = self.core_config.fingerprint()
         #: Engine-wide sampling default; ``None`` follows the environment
         #: (``REPRO_SAMPLING`` and friends) at each call.
         self.sampling = sampling
+        #: Result-lake gate (DESIGN.md §14): ``None`` follows the
+        #: environment (``REPRO_RESULT_LAKE``) at each call; an explicit
+        #: bool (a :class:`~repro.api.spec.StoreSpec` threading through
+        #: :class:`~repro.api.session.Session`) pins it.  The lake lives
+        #: in the simulator's trace store, so no store means no lake.
+        self.result_lake = result_lake
         self._cells: dict[CellKey, SimulationResult] = {}
+        self._variants: dict[str, SweepEngine] = {}
         self.cell_hits = 0
         self.cell_misses = 0
+        self.lake_hits = 0
+        self.lake_misses = 0
+        self.lake_writes = 0
+
+    # ------------------------------------------------------------------
+
+    def variant(self, core_config: CoreConfig | None) -> "SweepEngine":
+        """An engine simulating *core_config* that shares this engine's
+        caches.
+
+        The variant reuses the same on-disk trace store, the same
+        in-memory trace cache (traces are core-independent), the same
+        cell memo (sound: cell keys cover the core fingerprint) and the
+        same result-lake gate.  Repeated requests for one core config
+        return the same object, so its hit/miss counters accumulate
+        across callers — unlike the pre-lake behaviour where every
+        non-default core got a throwaway private engine that
+        re-simulated everything.
+        """
+        if core_config is None:
+            return self
+        fingerprint = core_config.fingerprint()
+        if fingerprint == self._core_fp:
+            return self
+        engine = self._variants.get(fingerprint)
+        if engine is None:
+            engine = SweepEngine(
+                simulator=Simulator(
+                    core_config,
+                    trace_store=self.simulator.trace_store,
+                    columnar=self.simulator.columnar,
+                ),
+                sampling=self.sampling,
+                result_lake=self.result_lake,
+            )
+            engine._cells = self._cells
+            engine.simulator._trace_cache = self.simulator._trace_cache
+            self._variants[fingerprint] = engine
+        return engine
+
+    def lake_enabled(self) -> bool:
+        """Whether cell lookups consult (and misses populate) the lake."""
+        if self.simulator.trace_store is None:
+            return False
+        if self.result_lake is not None:
+            return self.result_lake
+        return api_env.result_lake_from_env()
 
     # ------------------------------------------------------------------
 
@@ -142,7 +219,46 @@ class SweepEngine:
             benchmark, seed, warmup, measure,
             mechanism_fingerprint(mechanism),
             sampling.fingerprint(),
+            self._core_fp,
         )
+
+    def _cell_token(
+        self, mechanism: MechanismConfig, warmup: int, measure: int,
+        sampling: SamplingConfig,
+    ) -> str:
+        """Everything beyond (benchmark, seed) a lake cell depends on.
+
+        The complete fingerprint the ISSUE of unsound sharing demands:
+        resolved window, sampling fingerprint, mechanism fingerprint
+        (name-free), core-config fingerprint, workload-code version and
+        the cell format — a cell written under any other configuration
+        hashes to a different file name and can never be served.
+        """
+        return "\x00".join((
+            str(warmup), str(measure), sampling.fingerprint(),
+            mechanism.fingerprint(), self._core_fp,
+            workload_code_version(), f"cell{CELL_FORMAT}",
+        ))
+
+    def _lake_load(
+        self, benchmark: str, mechanism: MechanismConfig, seed: int,
+        token: str,
+    ) -> SimulationResult | None:
+        """One cell from the lake, or ``None`` on any miss.
+
+        The store validates payload shape and self-digest; the stats
+        schema is checked here against this build's ``Stats`` fields, so
+        an entry from a build with a different schema is a miss that the
+        fresh simulation overwrites.
+        """
+        payload = self.simulator.trace_store.load_cell(
+            benchmark, seed, token, fields=_STATS_FIELDS
+        )
+        if payload is None:
+            return None
+        stats = Stats(**payload["stats"])
+        stats.extra = dict(stats.extra)
+        return SimulationResult(benchmark, mechanism.name, seed, stats)
 
     def run_cell(
         self,
@@ -153,8 +269,18 @@ class SweepEngine:
         measure: int | None = None,
         sampling: SamplingConfig | None = None,
     ) -> SimulationResult:
-        """Simulate (or recall) one cell; returns a private result copy."""
+        """Simulate (or recall) one cell; returns a private result copy.
+
+        Lookup order: in-memory memo, then (when the lake is enabled)
+        the on-disk result lake, then simulation — which also populates
+        the lake, so any process that has ever run this cell serves it
+        from disk from then on.
+        """
         sampling = self._resolve_sampling(sampling)
+        if warmup is None or measure is None:
+            default_warmup, default_measure = api_env.window_from_env()
+            warmup = default_warmup if warmup is None else warmup
+            measure = default_measure if measure is None else measure
         key = self._key(benchmark, mechanism, seed, warmup, measure, sampling)
         cached = self._cells.get(key)
         if cached is not None:
@@ -164,6 +290,20 @@ class SweepEngine:
                 mechanism=mechanism.name, seed=seed,
             )
             return _copy_result(cached, benchmark, mechanism.name, seed)
+        lake = self.lake_enabled()
+        token = ""
+        if lake:
+            token = self._cell_token(mechanism, warmup, measure, sampling)
+            result = self._lake_load(benchmark, mechanism, seed, token)
+            if result is not None:
+                self.lake_hits += 1
+                obs_tracer().event(
+                    "sweep.cell.lake", benchmark=benchmark,
+                    mechanism=mechanism.name, seed=seed,
+                )
+                self._cells[key] = result
+                return _copy_result(result, benchmark, mechanism.name, seed)
+            self.lake_misses += 1
         self.cell_misses += 1
         with obs_tracer().span(
             "sweep.cell", benchmark=benchmark, mechanism=mechanism.name,
@@ -174,7 +314,38 @@ class SweepEngine:
                 seed=seed, sampling=sampling,
             )
         self._cells[key] = result
+        if lake:
+            self._lake_store(
+                result, benchmark, mechanism, seed, warmup, measure,
+                sampling, token,
+            )
         return _copy_result(result, benchmark, mechanism.name, seed)
+
+    def _lake_store(
+        self, result: SimulationResult, benchmark: str,
+        mechanism: MechanismConfig, seed: int, warmup: int, measure: int,
+        sampling: SamplingConfig, token: str,
+    ) -> None:
+        """Write one freshly simulated cell into the lake (best-effort)."""
+        written = self.simulator.trace_store.save_cell(
+            dataclasses.asdict(result.stats), benchmark, seed, token,
+            meta={
+                "mechanism": mechanism.name,
+                "warmup": warmup,
+                "measure": measure,
+                "sampling": sampling.fingerprint(),
+                "core": hashlib.sha256(
+                    self._core_fp.encode()
+                ).hexdigest()[:12],
+                "workload_version": workload_code_version(),
+            },
+        )
+        if written is not None:
+            self.lake_writes += 1
+            obs_tracer().event(
+                "sweep.cell.lake_write", benchmark=benchmark,
+                mechanism=mechanism.name, seed=seed,
+            )
 
     def sweep(
         self,
@@ -251,6 +422,7 @@ class SweepEngine:
         pool's teardown kills any stuck worker), so the merged cell
         table is identical to an all-healthy run.
         """
+        lake = self.lake_enabled()
         tasks = []
         task_plan = []
         for benchmark in benchmarks:
@@ -269,7 +441,7 @@ class SweepEngine:
             store = self.simulator.trace_store
             tasks.append((
                 self.core_config, str(store.root) if store else None,
-                benchmark, todo, warmup, measure, sampling,
+                benchmark, todo, warmup, measure, sampling, lake,
             ))
         filled: set[CellKey] = set()
         if not tasks:
@@ -287,22 +459,33 @@ class SweepEngine:
                     # or a worker-raised error; all re-dispatched below,
                     # where a genuine simulation bug re-raises in-parent.
                     per_task.append(None)
-        for (benchmark, todo), results in zip(task_plan, per_task):
-            if results is None:
-                # Re-dispatch the lost task in-process, deterministically.
-                results = [
-                    self.simulator.run_benchmark(
-                        benchmark, mechanism, warmup=warmup, measure=measure,
-                        seed=seed, sampling=sampling,
+        for (benchmark, todo), outcome in zip(task_plan, per_task):
+            if outcome is None:
+                # Re-dispatch the lost task in-process, deterministically;
+                # run_cell counts misses and lake traffic exactly as the
+                # worker would have (and may even serve cells a worker
+                # lake-wrote before dying).
+                for mechanism, seed in todo:
+                    self.run_cell(
+                        benchmark, mechanism, seed, warmup, measure, sampling
                     )
-                    for mechanism, seed in todo
-                ]
+                    filled.add(self._key(
+                        benchmark, mechanism, seed, warmup, measure, sampling
+                    ))
+                continue
+            results, simulated, lake_hits = outcome
+            # The worker's exact counts: `simulated` cells were actually
+            # run (each a lake miss when the lake is on), the rest were
+            # served from the shared lake.
+            self.cell_misses += simulated
+            self.lake_hits += lake_hits
+            if lake:
+                self.lake_misses += simulated
             for (mechanism, seed), result in zip(todo, results):
                 key = self._key(
                     benchmark, mechanism, seed, warmup, measure, sampling
                 )
                 self._cells[key] = result
-                self.cell_misses += 1
                 filled.add(key)
         return filled
 
@@ -315,19 +498,19 @@ _shared: SweepEngine | None = None
 
 
 def shared_engine(core_config: CoreConfig | None = None) -> SweepEngine:
-    """The process-wide engine for default-configured sweeps.
+    """The process-wide engine for sweeps of any core configuration.
 
     Scripts running in one process (e.g. every figure bench of a pytest
-    session) share its trace and cell memos.  A non-default core config
-    gets a private engine: cell keys do not cover the core config, so
-    sharing would be unsound.
+    session) share its trace and cell memos.  Cell keys cover the
+    core-config fingerprint, so a non-default core no longer gets a
+    throwaway private engine that re-simulates everything: it gets the
+    shared engine's :meth:`~SweepEngine.variant`, sharing the trace
+    store, the in-memory trace cache and the (now sound) cell memo.
     """
     global _shared
-    if core_config is not None and core_config != CoreConfig():
-        return SweepEngine(core_config)
     if _shared is None:
         _shared = SweepEngine()
-    return _shared
+    return _shared.variant(core_config)
 
 
 def reset_shared_engine() -> None:
@@ -467,6 +650,118 @@ def _smoke(sampled: bool = False) -> int:
     return 0
 
 
+def _lake_child(root: str, lake_flag: str) -> int:
+    """Hidden entry point for the ``--lake`` gate.
+
+    Runs the smoke grid in *this* process against the store at *root*
+    with the result lake pinned on or off, then prints one
+    machine-readable line (``digest=... simulated=... lake_hits=...
+    lake_writes=...``) the parent gate compares across processes.
+    """
+    import json
+
+    from repro.workloads.store import TraceStore
+
+    benchmarks = ["mcf", "dealII"]
+    mechanisms = [
+        MechanismConfig.baseline(), MechanismConfig.rsep_realistic()
+    ]
+    engine = SweepEngine(
+        simulator=Simulator(trace_store=TraceStore(root)),
+        result_lake=(lake_flag == "on"),
+    )
+    results = engine.sweep(
+        benchmarks, mechanisms, seeds=[1], warmup=512, measure=2000,
+        workers=1,
+    )
+    payload = {
+        "|".join(key): [dataclasses.asdict(r.stats) for r in cell]
+        for key, cell in sorted(results.items())
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    print(
+        f"digest={digest} simulated={engine.cell_misses} "
+        f"lake_hits={engine.lake_hits} lake_writes={engine.lake_writes}"
+    )
+    return 0
+
+
+def _smoke_lake() -> int:
+    """Incremental-sweep gate (ISSUE 9 / DESIGN.md §14).
+
+    A cold child process populates the lake; a *fresh* child on the warm
+    lake must simulate zero cells and produce a digest-identical
+    artifact; a lake-off child on the same store must never touch the
+    lake yet stay digest-identical — the `REPRO_RESULT_LAKE` off =
+    today's behaviour guarantee.
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def child(root: str, flag: str) -> dict | None:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.harness.sweep",
+             "--lake-child", root, flag],
+            capture_output=True, text=True, env=env,
+        )
+        if proc.returncode != 0 or not proc.stdout.strip():
+            print(f"lake smoke: child ({flag}) failed:\n"
+                  f"{proc.stdout}{proc.stderr}")
+            return None
+        line = proc.stdout.strip().splitlines()[-1]
+        return dict(part.split("=", 1) for part in line.split())
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-lake-") as root:
+        cold = child(root, "on")
+        if cold is None:
+            return 1
+        if int(cold["simulated"]) == 0:
+            print("lake smoke: cold run simulated nothing")
+            return 1
+        if int(cold["lake_writes"]) != int(cold["simulated"]):
+            print("lake smoke: cold run did not lake every simulation "
+                  f"(simulated={cold['simulated']}, "
+                  f"writes={cold['lake_writes']})")
+            return 1
+        warm = child(root, "on")
+        if warm is None:
+            return 1
+        if int(warm["simulated"]) != 0:
+            print("lake smoke: warm fresh-process run re-simulated "
+                  f"{warm['simulated']} cells")
+            return 1
+        if warm["digest"] != cold["digest"]:
+            print("lake smoke: warm digest diverged "
+                  f"({warm['digest']} != {cold['digest']})")
+            return 1
+        off = child(root, "off")
+        if off is None:
+            return 1
+        if int(off["lake_hits"]) != 0 or int(off["lake_writes"]) != 0:
+            print("lake smoke: lake-off run touched the lake "
+                  f"(hits={off['lake_hits']}, writes={off['lake_writes']})")
+            return 1
+        if off["digest"] != cold["digest"]:
+            print("lake smoke: lake-off digest diverged "
+                  f"({off['digest']} != {cold['digest']})")
+            return 1
+    print("lake smoke: warm fresh-process re-run simulated 0 cells "
+          f"(lake_hits={warm['lake_hits']}), digest-identical cold == "
+          f"warm == lake-off ({cold['digest']})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
@@ -485,9 +780,24 @@ def main(argv: list[str] | None = None) -> int:
         "subsystem (degenerate bit-identity, sampled determinism, "
         "checkpoint restore)",
     )
+    parser.add_argument(
+        "--lake", action="store_true",
+        help="with --smoke: incremental-sweep gate — a fresh process on "
+        "a warm result lake must simulate zero cells and emit a "
+        "digest-identical artifact",
+    )
+    parser.add_argument(
+        "--lake-child", nargs=2, metavar=("ROOT", "ON|OFF"),
+        help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
+    if args.lake_child:
+        return _lake_child(args.lake_child[0], args.lake_child[1])
     if args.smoke:
-        return _smoke(sampled=args.sampled)
+        status = _smoke(sampled=args.sampled)
+        if status == 0 and args.lake:
+            status = _smoke_lake()
+        return status
     parser.print_help()
     return 2
 

@@ -53,6 +53,18 @@ class CoreConfig:
         """
         return max(1, self.mispredict_penalty - self.frontend_depth - 1)
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of this core configuration.
+
+        Every field participates — there is no display name to exclude:
+        the whole value is the machine being simulated.  The tree is
+        frozen dataclasses and scalars with deterministic ``repr``.
+        Joins the sweep engine's cell keys and the result-lake /
+        µarch-checkpoint tokens, so two different cores can never share
+        a cached result.
+        """
+        return repr(self)
+
 
 @dataclass(frozen=True)
 class MechanismConfig:

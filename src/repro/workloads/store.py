@@ -33,6 +33,15 @@ Three pieces:
   as misses — the caller falls back to interpretation and the file is
   rewritten.
 
+Since the result lake (DESIGN.md §14) the store also holds per-cell
+simulation *results*: small JSON artifacts (``*.cell``) carrying one
+cell's :class:`~repro.pipeline.stats.Stats`, content-addressed on the
+complete cell fingerprint the sweep engine computes (benchmark, seed,
+resolved window, sampling/mechanism/core fingerprints, workload-code
+version, format).  Like traces and checkpoints, anything unreadable —
+truncated, foreign format, digest-mismatched — is a miss the caller
+re-simulates and overwrites.
+
 The store location defaults to ``~/.cache/repro/traces`` (honouring
 ``XDG_CACHE_HOME``) and is overridden with ``REPRO_TRACE_STORE``; setting
 that variable to ``0``, ``off`` or ``none`` disables persistence.
@@ -41,10 +50,11 @@ that variable to ``0``, ``off`` or ``none`` disables persistence.
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 from pathlib import Path
 
-from repro.common.atomicio import atomic_write_bytes
+from repro.common.atomicio import atomic_write_bytes, atomic_write_text
 
 from repro.workloads.columnar import (  # noqa: F401  (codec re-exports)
     FORMAT,
@@ -87,25 +97,53 @@ def _module_sources() -> list[Path]:
     return paths
 
 
+def _snapshot_source(path: Path) -> tuple[tuple[str, int, int], bytes]:
+    """One file's ``(stat signature, bytes)``, captured consistently.
+
+    The stat and the read happen back to back, and the stat is re-taken
+    after the read: if an edit landed in between, the pair is retried so
+    the returned signature always describes exactly the bytes returned.
+    Without this, an edit racing the two passes could memoise a digest
+    that does not correspond to its signature — and a signature-matched
+    memo hit would then serve the wrong version forever.
+    """
+    before = path.stat()
+    for _ in range(4):
+        data = path.read_bytes()
+        after = path.stat()
+        if (before.st_mtime_ns, before.st_size) == (
+            after.st_mtime_ns, after.st_size
+        ):
+            break
+        before = after
+    return (str(path), before.st_mtime_ns, before.st_size), data
+
+
 def workload_code_version() -> str:
     """Hash of the workload/ISA/interpreter source (first 16 hex chars).
 
     Cached on the files' ``(path, mtime_ns, size)`` signature: editing any
     versioned module invalidates the memo, so even a process that outlives
-    an edit computes a fresh version and stops serving stale traces.
+    an edit computes a fresh version and stops serving stale traces.  On
+    a memo miss, each file's ``(stat, bytes)`` is snapshotted in a single
+    consistent pass and **both** the memo signature and the digest derive
+    from that snapshot — the memoised pair can never mix one version's
+    stats with another version's bytes.
     """
     global _version_cache
     sources = _module_sources()
-    signature = tuple(
+    probe = tuple(
         (str(path), stat.st_mtime_ns, stat.st_size)
         for path, stat in ((p, p.stat()) for p in sources)
     )
-    if _version_cache is not None and _version_cache[0] == signature:
+    if _version_cache is not None and _version_cache[0] == probe:
         return _version_cache[1]
+    snapshot = [(path.name, *_snapshot_source(path)) for path in sources]
+    signature = tuple(entry[1] for entry in snapshot)
     digest = hashlib.sha256()
-    for path in sources:
-        digest.update(path.name.encode())
-        digest.update(path.read_bytes())
+    for name, _, data in snapshot:
+        digest.update(name.encode())
+        digest.update(data)
     version = digest.hexdigest()[:16]
     _version_cache = (signature, version)
     return version
@@ -114,6 +152,23 @@ def workload_code_version() -> str:
 # ---------------------------------------------------------------------------
 # On-disk store
 # ---------------------------------------------------------------------------
+
+#: Result-lake cell artifact layout version.  Part of every cell key, so
+#: bumping it on an incompatible change makes every old entry a miss
+#: (never a misread).
+CELL_FORMAT = 1
+
+
+def cell_stats_digest(stats: dict) -> str:
+    """Self-digest of one lake cell's stats section.
+
+    Canonical JSON (sorted keys), so the digest is independent of dict
+    insertion order; editing any counter under a stale digest makes the
+    entry a miss (tamper detection, mirroring ``RunResult.digest``).
+    """
+    return hashlib.sha256(
+        json.dumps(stats, sort_keys=True).encode()
+    ).hexdigest()[:16]
 
 
 def default_store_root() -> Path | None:
@@ -141,6 +196,11 @@ class TraceStore:
         self.checkpoint_hits = 0
         self.checkpoint_misses = 0
         self.checkpoint_writes = 0
+        # Result-lake cells (DESIGN.md §14) stored alongside both.
+        self.cell_hits = 0
+        self.cell_misses = 0
+        self.cell_writes = 0
+        self.cell_recovered = 0  # unreadable/tampered cells, now misses
 
     @classmethod
     def from_environment(cls) -> "TraceStore | None":
@@ -300,3 +360,121 @@ class TraceStore:
             return None
         self.checkpoint_writes += 1
         return path
+
+    # ------------------------------------------------------------------
+    # Result lake: per-cell Stats artifacts (DESIGN.md §14)
+    # ------------------------------------------------------------------
+
+    def cell_path(self, benchmark: str, seed: int, token: str) -> Path:
+        """File path of one result-lake cell artifact.
+
+        *token* is the sweep engine's complete cell fingerprint beyond
+        (benchmark, seed): resolved window, sampling fingerprint,
+        mechanism fingerprint, core-config fingerprint, workload-code
+        version and the lake format — so the name is content-addressed
+        exactly like trace and checkpoint files, and a cell produced
+        under any other configuration can never be served.
+        """
+        digest = hashlib.sha256(
+            f"{benchmark}\x00{seed}\x00{token}".encode()
+        ).hexdigest()[:20]
+        safe = "".join(c if c.isalnum() else "_" for c in benchmark)
+        return self.root / f"{safe}-s{seed}-{digest}.cell"
+
+    def load_cell(
+        self, benchmark: str, seed: int, token: str,
+        fields: frozenset[str] | set[str] | None = None,
+    ) -> dict | None:
+        """Return a stored cell payload, or ``None`` on any miss.
+
+        The payload is JSON with a self-digest over its ``stats``
+        section; anything unreadable — missing, truncated, foreign
+        format, or tampered (stats edited under a stale digest) — is a
+        miss the caller re-simulates, after which :meth:`save_cell`
+        overwrites the bad artifact.  *fields*, when given, is the exact
+        set of stats keys the caller's schema expects (the sweep engine
+        passes its ``Stats`` field names); any other key set is a miss
+        too, so a cell from a build with a drifted schema is never
+        half-read.
+        """
+        path = self.cell_path(benchmark, seed, token)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cell payload is not an object")
+            if payload.get("format") != CELL_FORMAT:
+                raise ValueError("foreign cell format")
+            stats = payload.get("stats")
+            if not isinstance(stats, dict):
+                raise ValueError("cell payload has no stats object")
+            if payload.get("digest") != cell_stats_digest(stats):
+                raise ValueError("cell digest mismatch")
+            if fields is not None and set(stats) != set(fields):
+                raise ValueError("cell stats schema mismatch")
+        except FileNotFoundError:
+            self.cell_misses += 1
+            return None
+        except Exception:  # corrupt/foreign/tampered: recoverable
+            self.cell_recovered += 1
+            self.cell_misses += 1
+            return None
+        self.cell_hits += 1
+        return payload
+
+    def save_cell(
+        self,
+        stats: dict,
+        benchmark: str,
+        seed: int,
+        token: str,
+        meta: dict | None = None,
+    ) -> Path | None:
+        """Persist one cell's stats dict atomically; best-effort.
+
+        *meta* (mechanism display name, window, fingerprints, ...) is
+        informational — it makes the lake queryable by ``repro report
+        --lake`` but never participates in the self-digest, exactly as
+        display names stay out of cell keys.
+        """
+        payload = {
+            "format": CELL_FORMAT,
+            "benchmark": benchmark,
+            "seed": seed,
+            "digest": cell_stats_digest(stats),
+            "stats": stats,
+        }
+        if meta:
+            payload["meta"] = meta
+        path = self.cell_path(benchmark, seed, token)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(
+                path, json.dumps(payload, sort_keys=True) + "\n"
+            )
+        except OSError:
+            return None  # read-only store, full disk, ... — not fatal
+        self.cell_writes += 1
+        return path
+
+    def iter_cells(self):
+        """Yield ``(path, payload-or-None)`` for every lake entry.
+
+        Unreadable or tampered entries yield ``None`` payloads so
+        queries (``repro report --lake`` / ``inspect --lake``) can count
+        them without trusting them; sorted by path for deterministic
+        rendering.
+        """
+        for path in sorted(self.root.glob("*.cell")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if not (
+                    isinstance(payload, dict)
+                    and payload.get("format") == CELL_FORMAT
+                    and isinstance(payload.get("stats"), dict)
+                    and payload.get("digest")
+                    == cell_stats_digest(payload["stats"])
+                ):
+                    payload = None
+            except Exception:
+                payload = None
+            yield path, payload
