@@ -36,7 +36,7 @@ BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
 
 #: Label of the trajectory entry this working tree records.  Bumped once
 #: per perf-relevant PR; override with REPRO_PERF_LABEL for ad-hoc runs.
-CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 8")
+CURRENT_LABEL = os.environ.get("REPRO_PERF_LABEL", "PR 10")
 
 #: Aggregate simulated KIPS of the seed implementation (commit 1b7db02),
 #: measured with this same protocol (default window, best-of-3 pipeline
@@ -86,6 +86,16 @@ PINNED_TRAJECTORY = [
         "label": "PR 6",
         "aggregate_kips": {"baseline": 77.44, "rsep-realistic": 46.02},
         "speedup_vs_seed": {"baseline": 2.43, "rsep-realistic": 2.2},
+    },
+    {
+        "label": "PR 7",
+        "aggregate_kips": {"baseline": 96.82, "rsep-realistic": 58.01},
+        "speedup_vs_seed": {"baseline": 3.04, "rsep-realistic": 2.77},
+    },
+    {
+        "label": "PR 8",
+        "aggregate_kips": {"baseline": 103.41, "rsep-realistic": 57.91},
+        "speedup_vs_seed": {"baseline": 3.25, "rsep-realistic": 2.76},
     },
 ]
 SEED_REFERENCE_PER_BENCHMARK = {

@@ -114,6 +114,27 @@ def _mechanisms_from_args(names: list[str] | None):
 # ---------------------------------------------------------------------------
 
 
+def _print_sharded_outcome(outcome) -> None:
+    """The sharded/clustered fault story, shared by both sweep paths."""
+    print(f"\n{outcome.mode} over {len(outcome.attempts)} shard(s), "
+          f"{sum(outcome.attempts.values())} attempt(s)")
+    for label, report in sorted(outcome.host_reports.items()):
+        print(f"  host {label}: {report.get('status')}, "
+              f"{report.get('dispatched', 0)} dispatch(es), "
+              f"{report.get('failures', 0)} failure(s)"
+              + (f" ({report['reason']})" if report.get("reason") else ""))
+    for index, report in sorted(outcome.shard_reports.items()):
+        if report.attempts <= 1 and not report.failure_kinds:
+            continue
+        kinds = ", ".join(report.failure_kinds) or "none"
+        print(f"  shard {index}: {report.attempts} attempt(s), "
+              f"failures [{kinds}], "
+              f"backoff {report.backoff_seconds:.2f}s"
+              + (", QUARANTINED" if report.quarantined else ""))
+    for line in outcome.failures:
+        print(f"  fault survived: {line}", file=sys.stderr)
+
+
 def _cmd_sweep(args) -> int:
     if args.smoke:
         ignored = [
@@ -129,6 +150,18 @@ def _cmd_sweep(args) -> int:
             print("repro sweep --smoke runs a fixed gate; it cannot take "
                   f"{', '.join(ignored)}", file=sys.stderr)
             return 2
+        if args.hosts is not None:
+            # The loopback-cluster gate: two real `repro serve --tcp`
+            # children, an injected host crash and a corrupt artifact,
+            # and the merge must still be digest-identical in-process.
+            if args.hosts != "loopback":
+                print("repro sweep --smoke --hosts runs the loopback "
+                      "cluster gate; the only accepted value is "
+                      "'loopback'", file=sys.stderr)
+                return 2
+            from repro.cluster.smoke import cluster_smoke
+
+            return cluster_smoke()
         if args.shards is not None:
             # The sharded-service gate: a fault-injected sharded run
             # (REPRO_FAULTS) must merge digest-identical to in-process.
@@ -169,22 +202,18 @@ def _cmd_sweep(args) -> int:
     print(_spec_summary(spec))
     session = Session.for_spec(spec)
     holes = ()
-    if spec.shards > 1:
+    if args.hosts is not None:
+        try:
+            outcome = session.run_clustered(spec, hosts=args.hosts)
+        except ValueError as error:
+            print(f"repro sweep: {error}", file=sys.stderr)
+            return 2
+        result, holes = outcome.result, outcome.holes
+        _print_sharded_outcome(outcome)
+    elif spec.shards > 1:
         outcome = session.run_sharded(spec)
         result, holes = outcome.result, outcome.holes
-        print(f"\nsharded over {len(outcome.attempts)} shard(s), "
-              f"{sum(outcome.attempts.values())} attempt(s), mode "
-              f"{outcome.mode}")
-        for index, report in sorted(outcome.shard_reports.items()):
-            if report.attempts <= 1 and not report.failure_kinds:
-                continue
-            kinds = ", ".join(report.failure_kinds) or "none"
-            print(f"  shard {index}: {report.attempts} attempt(s), "
-                  f"failures [{kinds}], "
-                  f"backoff {report.backoff_seconds:.2f}s"
-                  + (", QUARANTINED" if report.quarantined else ""))
-        for line in outcome.failures:
-            print(f"  fault survived: {line}", file=sys.stderr)
+        _print_sharded_outcome(outcome)
     else:
         result = session.run(spec)
     print()
@@ -654,14 +683,40 @@ def _cmd_serve(args) -> int:
     from repro.service.server import SweepServer
     from repro.service.supervisor import ShardSupervisor
 
+    tcp = None
+    if args.tcp is not None:
+        from repro.cluster.hosts import HostSpec
+
+        try:
+            tcp = HostSpec.parse(args.tcp).address
+        except ValueError as error:
+            print(f"repro serve: {error}", file=sys.stderr)
+            return 2
     supervisor = ShardSupervisor(deadline=args.timeout)
     server = SweepServer(
-        args.socket, supervisor=supervisor, shards=args.shards
+        None if args.tcp is not None and args.no_socket else args.socket,
+        supervisor=supervisor, shards=args.shards, tcp=tcp,
     )
-    print(f"repro serve: listening on {args.socket} "
-          f"(shards default: {args.shards if args.shards is not None else 'per spec'})")
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(server.serve(once=args.once))
+        await server.wait_started()
+        # The tcp= line is machine-readable on purpose: with port 0 it
+        # is how a parent (the loopback cluster smoke) learns the real
+        # ephemeral port.
+        if server.bound_address is not None:
+            host, port = server.bound_address
+            print(f"repro serve: tcp={host}:{port}", flush=True)
+        if server.socket_path is not None:
+            print(f"repro serve: listening on {server.socket_path}",
+                  flush=True)
+        await task
+
+    shards_note = args.shards if args.shards is not None else "per spec"
+    print(f"repro serve: starting (shards default: {shards_note})",
+          flush=True)
     try:
-        asyncio.run(server.serve(once=args.once))
+        asyncio.run(_serve())
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down")
     print(f"repro serve: {server.requests_served} request(s) served")
@@ -716,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-tolerant sharded service shard count "
                        "(default: REPRO_SHARDS; 0/1 = in-process); with "
                        "--smoke: run the fault-injected sharded gate")
+    sweep.add_argument("--hosts", metavar="LIST", default=None,
+                       help="run clustered across remote `repro serve "
+                       "--tcp` hosts, e.g. a:9091,b:9091 (default: "
+                       "REPRO_HOSTS); with --smoke: 'loopback' runs the "
+                       "loopback-cluster gate")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="write the RunResult artifact to PATH")
 
@@ -826,12 +886,18 @@ def build_parser() -> argparse.ArgumentParser:
                       "(default: 0.5)")
 
     serve = sub.add_parser(
-        "serve", help="sweep service on a local Unix socket "
-        "(spec JSON in, digest-verified artifact out)"
+        "serve", help="sweep service on a local Unix socket and/or TCP "
+        "(spec or shard JSON in, digest-verified payload out)"
     )
     serve.add_argument("--socket", metavar="PATH", default="repro.sock",
                        help="Unix socket path to listen on "
                        "(default: ./repro.sock)")
+    serve.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                       help="additionally listen on TCP (port 0 binds an "
+                       "ephemeral port, announced as 'tcp=HOST:PORT'); "
+                       "this is what `repro sweep --hosts` dials")
+    serve.add_argument("--no-socket", action="store_true",
+                       help="with --tcp: TCP only, no Unix socket file")
     serve.add_argument("--shards", type=int, default=None,
                        help="server-side default shard count (a request's "
                        "explicit value wins; default: each spec's own)")

@@ -88,6 +88,14 @@ KNOWN_VARS: dict[str, tuple[str, str]] = {
         "service.ShardSupervisor deadline",
         "per-shard wall-clock deadline in seconds (default 120)",
     ),
+    "REPRO_HOSTS": (
+        "cluster.HostPool hosts",
+        "remote sweep hosts, e.g. 'a:9091,b:9091' (default none)",
+    ),
+    "REPRO_CONNECT_TIMEOUT": (
+        "cluster client dial deadline",
+        "per-dial connect timeout in seconds (default 5)",
+    ),
     "REPRO_FULL": (
         "ExperimentSpec.benchmarks (from_env default)",
         "benches/CLI: all 29 benchmarks instead of the representative 13",
@@ -244,6 +252,32 @@ def faults_from_env() -> str | None:
     if configured is None or not configured.strip():
         return None
     return configured
+
+
+def hosts_from_env() -> str | None:
+    """The raw ``REPRO_HOSTS`` host-list text (``None`` = no cluster).
+
+    Parsed by :func:`repro.cluster.hosts.parse_hosts`; read lazily by
+    the cluster front door so the host list travels as data, never as
+    ambient state a remote worker might re-read.
+    """
+    configured = os.environ.get("REPRO_HOSTS")
+    if configured is None or not configured.strip():
+        return None
+    return configured
+
+
+def connect_timeout_from_env() -> float:
+    """Per-dial connect timeout in seconds (``REPRO_CONNECT_TIMEOUT``).
+
+    Bounds only the TCP/Unix *connect* — request I/O has its own, much
+    longer deadline — so an unreachable host is detected in seconds,
+    not after a full shard deadline.
+    """
+    configured = os.environ.get("REPRO_CONNECT_TIMEOUT")
+    if configured:
+        return max(0.1, float(configured))
+    return 5.0
 
 
 def columnar_from_env() -> bool:

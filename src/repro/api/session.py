@@ -140,6 +140,28 @@ class Session:
         count = spec.shards if shards is None else shards
         return supervisor.run(spec, shards=count)
 
+    def run_clustered(
+        self,
+        spec: ExperimentSpec,
+        hosts=None,
+        shards: int | None = None,
+    ):
+        """Execute *spec* across remote ``repro serve --tcp`` hosts.
+
+        *hosts* is ``"a:9091,b:9091"`` (or a sequence of
+        :class:`~repro.cluster.hosts.HostSpec`); ``None`` reads
+        ``REPRO_HOSTS``.  The shards fan out to the host pool through a
+        :class:`~repro.cluster.dispatch.RemoteDispatcher` under the same
+        :class:`~repro.service.supervisor.ShardSupervisor` retry ladder
+        as :meth:`run_sharded`, and hosts opportunistically publish lake
+        entries back so this session's result lake goes warm.  The
+        merged result is digest-identical to :meth:`run` when complete,
+        whatever crashed along the way (DESIGN.md §15).
+        """
+        from repro.cluster.dispatch import run_clustered
+
+        return run_clustered(spec, hosts=hosts, shards=shards, session=self)
+
 
 def run(spec: ExperimentSpec) -> RunResult:
     """One-shot convenience: build the right session and run *spec*."""

@@ -1,0 +1,218 @@
+"""CI smoke gate for the cluster: ``repro sweep --smoke --hosts loopback``.
+
+The golden cluster property, end to end with *real* processes: two
+``repro serve --tcp`` children on 127.0.0.1, a coordinator sweep with an
+injected remote-host crash (``os._exit`` in the child — the connection
+genuinely dies) and one corrupt artifact, and the merged result must be
+digest-identical to an unfaulted in-process run.  Then the artifact
+plane: the hosts' written-back lake entries must let a *fresh
+coordinator process* on the same lake simulate zero cells and reproduce
+the identical stats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import env as api_env
+from repro.api.spec import (
+    ExperimentSpec,
+    StoreSpec,
+    WindowSpec,
+    default_mechanisms,
+)
+from repro.service.faults import FaultPlan
+
+#: Injected when ``REPRO_FAULTS`` is unset: the host serving shard 0's
+#: first attempt crashes (host death + reassignment), shard 1's first
+#: artifact comes back corrupt (digest rejection + retry).
+DEFAULT_FAULTS = "crash:0,corrupt:1"
+
+_ANNOUNCE = re.compile(r"tcp=([0-9.]+):(\d+)")
+
+
+def _grid_digest(result) -> str:
+    """The digest ``repro.harness.sweep --lake-child`` prints, computed
+    from a :class:`~repro.api.result.RunResult` — one digest definition
+    for "same stats" across the clustered run and the fresh-coordinator
+    child."""
+    grouped: dict[str, list] = {}
+    for cell in sorted(
+        result.cells, key=lambda c: (c.benchmark, c.mechanism, c.seed)
+    ):
+        grouped.setdefault(f"{cell.benchmark}|{cell.mechanism}", []).append(
+            dataclasses.asdict(cell.stats)
+        )
+    payload = dict(sorted(grouped.items()))
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    # Hosts are hermetic: no persistent store, no ambient cluster or
+    # fault state (the coordinator's faults travel inside requests).
+    env["REPRO_TRACE_STORE"] = "off"
+    env.pop("REPRO_HOSTS", None)
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def _spawn_host(env: dict) -> tuple[subprocess.Popen, str] | None:
+    """One ``repro serve --tcp 127.0.0.1:0`` child; returns (process,
+    "host:port") once the ephemeral port is announced."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--tcp", "127.0.0.1:0", "--no-socket"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            print("cluster smoke: serve child exited before announcing "
+                  f"(code {process.returncode})")
+            return None
+        line = process.stdout.readline()
+        match = _ANNOUNCE.search(line or "")
+        if match:
+            return process, f"{match.group(1)}:{match.group(2)}"
+    process.kill()
+    print("cluster smoke: serve child never announced its port")
+    return None
+
+
+def cluster_smoke() -> int:
+    """Gate: a crash-and-corruption cluster run must merge
+    digest-identical, and its lake write-back must warm a fresh
+    coordinator to zero simulations."""
+    from repro.api.session import Session
+    from repro.cluster.dispatch import run_clustered
+    from repro.service.supervisor import ShardSupervisor
+
+    plan = FaultPlan.parse(api_env.faults_from_env() or DEFAULT_FAULTS)
+    env = _child_env()
+    hosts: list[tuple[subprocess.Popen, str]] = []
+    try:
+        for _ in range(2):
+            spawned = _spawn_host(env)
+            if spawned is None:
+                return 1
+            hosts.append(spawned)
+        host_list = ",".join(address for _, address in hosts)
+        with tempfile.TemporaryDirectory(
+            prefix="repro-smoke-cluster-"
+        ) as lake_root:
+            spec = ExperimentSpec(
+                benchmarks=("mcf", "dealII"),
+                mechanisms=default_mechanisms(),
+                window=WindowSpec(warmup=512, measure=2000),
+                store=StoreSpec(path=lake_root, result_lake=True),
+            )
+            # The reference runs store-less so it cannot pre-warm the
+            # coordinator lake the clustered run is about to prove out.
+            reference_spec = dataclasses.replace(
+                spec, store=StoreSpec(enabled=False)
+            )
+            reference = Session.for_spec(reference_spec).run(reference_spec)
+            supervisor = ShardSupervisor(faults=plan, backoff_base=0.01)
+            outcome = run_clustered(
+                spec, hosts=host_list, shards=2, supervisor=supervisor,
+            )
+            if outcome.mode != "clustered":
+                print("cluster smoke: expected a clustered run, got "
+                      f"{outcome.mode}")
+                return 1
+            if not outcome.complete:
+                print("cluster smoke: holes after retries: "
+                      f"{list(outcome.holes)} "
+                      f"(failures: {list(outcome.failures)})")
+                return 1
+            faulted = {
+                fault.shard for fault in plan.faults
+                if fault.shard in outcome.attempts
+            }
+            undertried = [
+                shard for shard in sorted(faulted)
+                if outcome.attempts[shard] < 2
+            ]
+            if not faulted or undertried:
+                print("cluster smoke: injected faults did not force "
+                      f"retries (plan {plan.render()!r}, attempts "
+                      f"{outcome.attempts})")
+                return 1
+            dead = [
+                label for label, report in outcome.host_reports.items()
+                if report["status"] == "dead"
+            ]
+            if not dead:
+                print("cluster smoke: the crash fault killed no host "
+                      f"(host reports: {outcome.host_reports})")
+                return 1
+            if outcome.digest() != reference.digest():
+                print("cluster smoke: faulted clustered digest "
+                      f"{outcome.digest()} != in-process "
+                      f"{reference.digest()}")
+                return 1
+            lake_cells = list(Path(lake_root).glob("*.cell"))
+            if len(lake_cells) != spec.cells:
+                print("cluster smoke: lake write-back left "
+                      f"{len(lake_cells)} cell(s), expected {spec.cells}")
+                return 1
+            # Phase 2: a fresh coordinator process on the written-back
+            # lake must simulate nothing and reproduce the same stats.
+            child = subprocess.run(
+                [sys.executable, "-m", "repro.harness.sweep",
+                 "--lake-child", lake_root, "on"],
+                capture_output=True, text=True, env=env,
+            )
+            if child.returncode != 0 or not child.stdout.strip():
+                print("cluster smoke: fresh-coordinator child failed:\n"
+                      f"{child.stdout}{child.stderr}")
+                return 1
+            line = child.stdout.strip().splitlines()[-1]
+            fields = dict(part.split("=", 1) for part in line.split())
+            if int(fields["simulated"]) != 0:
+                print("cluster smoke: fresh coordinator re-simulated "
+                      f"{fields['simulated']} cell(s) on the written-back "
+                      "lake")
+                return 1
+            if fields["digest"] != _grid_digest(reference):
+                print("cluster smoke: fresh-coordinator digest "
+                      f"{fields['digest']} != reference "
+                      f"{_grid_digest(reference)}")
+                return 1
+            print(
+                "cluster smoke: survived "
+                f"{plan.render()!r} across 2 real hosts "
+                f"({sum(outcome.attempts.values())} attempts, "
+                f"host(s) {', '.join(dead)} died) — merged digest "
+                f"{outcome.digest()} == in-process; written-back lake "
+                f"warmed a fresh coordinator to 0 simulations"
+            )
+            return 0
+    finally:
+        for process, _ in hosts:
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait(timeout=10.0)
+            if process.stdout is not None:
+                process.stdout.close()

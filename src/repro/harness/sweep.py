@@ -222,7 +222,7 @@ class SweepEngine:
             self._core_fp,
         )
 
-    def _cell_token(
+    def cell_token(
         self, mechanism: MechanismConfig, warmup: int, measure: int,
         sampling: SamplingConfig,
     ) -> str:
@@ -233,12 +233,54 @@ class SweepEngine:
         (name-free), core-config fingerprint, workload-code version and
         the cell format — a cell written under any other configuration
         hashes to a different file name and can never be served.
+
+        Public because the cluster coordinator recomputes tokens locally
+        to verify lake entries a remote host published (a host cannot
+        make the coordinator file a cell under a key of the host's
+        choosing).
         """
         return "\x00".join((
             str(warmup), str(measure), sampling.fingerprint(),
             mechanism.fingerprint(), self._core_fp,
             workload_code_version(), f"cell{CELL_FORMAT}",
         ))
+
+    def _cell_meta(
+        self, mechanism: MechanismConfig, warmup: int, measure: int,
+        sampling: SamplingConfig,
+    ) -> dict:
+        """The informational meta block lake cells carry (queryable by
+        ``repro report --lake``; never part of the self-digest)."""
+        return {
+            "mechanism": mechanism.name,
+            "warmup": warmup,
+            "measure": measure,
+            "sampling": sampling.fingerprint(),
+            "core": hashlib.sha256(
+                self._core_fp.encode()
+            ).hexdigest()[:12],
+            "workload_version": workload_code_version(),
+        }
+
+    def lake_entry(
+        self, result: SimulationResult, mechanism: MechanismConfig,
+        warmup: int, measure: int, sampling: SamplingConfig,
+    ) -> dict:
+        """One cell as a portable lake-entry payload.
+
+        What a cluster host ships back beside its shard artifact so the
+        coordinator's lake goes warm: the exact (benchmark, seed, token,
+        stats, meta) tuple :meth:`_lake_store` would write locally.  The
+        coordinator re-verifies token and stats against the
+        digest-verified shard result before filing it.
+        """
+        return {
+            "benchmark": result.benchmark,
+            "seed": result.seed,
+            "token": self.cell_token(mechanism, warmup, measure, sampling),
+            "stats": dataclasses.asdict(result.stats),
+            "meta": self._cell_meta(mechanism, warmup, measure, sampling),
+        }
 
     def _lake_load(
         self, benchmark: str, mechanism: MechanismConfig, seed: int,
@@ -293,7 +335,7 @@ class SweepEngine:
         lake = self.lake_enabled()
         token = ""
         if lake:
-            token = self._cell_token(mechanism, warmup, measure, sampling)
+            token = self.cell_token(mechanism, warmup, measure, sampling)
             result = self._lake_load(benchmark, mechanism, seed, token)
             if result is not None:
                 self.lake_hits += 1
@@ -329,16 +371,7 @@ class SweepEngine:
         """Write one freshly simulated cell into the lake (best-effort)."""
         written = self.simulator.trace_store.save_cell(
             dataclasses.asdict(result.stats), benchmark, seed, token,
-            meta={
-                "mechanism": mechanism.name,
-                "warmup": warmup,
-                "measure": measure,
-                "sampling": sampling.fingerprint(),
-                "core": hashlib.sha256(
-                    self._core_fp.encode()
-                ).hexdigest()[:12],
-                "workload_version": workload_code_version(),
-            },
+            meta=self._cell_meta(mechanism, warmup, measure, sampling),
         )
         if written is not None:
             self.lake_writes += 1

@@ -1,40 +1,57 @@
-"""``repro serve`` — spec JSON in, digest-verified artifact out.
+"""``repro serve`` — spec or shard JSON in, digest-verified payload out.
 
-A deliberately small batch service over a local Unix socket: one
-newline-delimited JSON request per connection, one newline-delimited
-JSON response back.
+A deliberately small batch service speaking the newline-JSON protocol of
+:mod:`repro.cluster.framing` — one request per connection, one response
+back — on a local Unix socket, a TCP endpoint (``--tcp HOST:PORT``), or
+both at once.  Both listeners share one handler, so the framing
+hardening (oversized, truncated and malformed requests each get a
+structured ``ok: false`` answer and the server keeps serving) is a
+single code path.
 
-Request::
+Operations::
 
     {"spec": <ExperimentSpec.to_dict()>, "shards": <int, optional>}
+        -> {"ok": true, "sharded": <ShardedSweepResult.to_dict()>}
 
-Response::
+    {"op": "hello"}
+        -> {"ok": true, "hello": {protocol, workload_version, cell_format}}
 
-    {"ok": true, "sharded": <ShardedSweepResult.to_dict()>}
-    {"ok": false, "error": "<reason>"}
+    {"op": "shard", "shard": <ShardSpec.to_dict()>,
+     "fault": <optional>, "lake": <optional bool>}
+        -> {"ok": true, "result": <ShardResult.to_dict()>,
+            "lake_cells": [<lake entry>, ...]}   # when lake requested
 
-The handler routes through the same :class:`ShardSupervisor` the CLI
+    anything else -> {"ok": false, "error": "<reason>", ...}
+
+The sweep op routes through the same :class:`ShardSupervisor` the CLI
 uses, so every robustness property — deadlines, retries, reassignment,
 quarantine, in-process degradation — and the digest-verified merge hold
-for served requests too.  A malformed or unserviceable request gets an
-``ok: false`` response; it never kills the server.
+for served requests too.  The shard op is what a cluster coordinator's
+:class:`~repro.cluster.dispatch.RemoteDispatcher` sends: the shard runs
+on *this host's own* engine and store (the work order's embedded store
+path is coordinator-local and deliberately ignored), and honours the
+coordinator's injected fault exactly like a forked worker would —
+``crash`` really kills the whole server process, which is what makes the
+loopback CI gate's host-failover scenario honest.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import os
-import socket
 from pathlib import Path
 
 from repro.api.spec import ExperimentSpec
+from repro.cluster import framing
+from repro.cluster.framing import (  # noqa: F401  (re-export: legacy name)
+    STREAM_LIMIT,
+    FrameError,
+)
+from repro.cluster.hosts import local_capabilities
 from repro.obs.runtime import obs_tracer
+from repro.service.shards import ShardSpec
 from repro.service.supervisor import ShardedSweepResult, ShardSupervisor
-
-#: Stream limit: full-grid specs and multi-hundred-cell artifacts are
-#: far below this, but the asyncio default (64 KiB) is not enough.
-STREAM_LIMIT = 64 * 1024 * 1024
+from repro.service.worker import HANG_SLEEP_SECONDS, execute_shard_with_lake
 
 
 class ServiceError(RuntimeError):
@@ -42,34 +59,82 @@ class ServiceError(RuntimeError):
 
 
 class SweepServer:
-    """Serve sweep requests on a Unix socket until cancelled."""
+    """Serve sweep/shard requests on Unix and/or TCP listeners."""
 
     def __init__(
         self,
-        socket_path: str | os.PathLike,
+        socket_path: str | os.PathLike | None = None,
         supervisor: ShardSupervisor | None = None,
         shards: int | None = None,
+        *,
+        tcp: tuple[str, int] | None = None,
+        stream_limit: int = STREAM_LIMIT,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        if socket_path is None and tcp is None:
+            raise ValueError("a server needs a socket path, a TCP "
+                             "endpoint, or both")
+        self.socket_path = (
+            Path(socket_path) if socket_path is not None else None
+        )
+        #: ``(host, port)`` to listen on; port 0 binds an ephemeral port
+        #: (the real one lands in :attr:`bound_address` once serving).
+        self.tcp = tcp
         self.supervisor = supervisor or ShardSupervisor()
         #: Server-side default shard count; a request's explicit
         #: ``shards`` beats it, the spec's own ``shards`` field is the
         #: final fallback.
         self.shards = shards
+        #: Injectable for tests: a tiny limit makes the oversized path
+        #: reachable without shipping 64 MiB.
+        self.stream_limit = stream_limit
         self.requests_served = 0
+        #: The TCP listener's actual ``(host, port)`` once bound.
+        self.bound_address: tuple[str, int] | None = None
         self._once_done: asyncio.Event | None = None
+        self._started: asyncio.Event | None = None
+        #: Shard execution is serialised per server process: the lazily
+        #: built host engine (below) is not safe for concurrent threads,
+        #: and one-shard-at-a-time mirrors one-core-per-host anyway.
+        self._shard_lock: asyncio.Lock | None = None
+        self._engine = None
 
     # ------------------------------------------------------------------
+    # The host-local engine (shard op)
+    # ------------------------------------------------------------------
 
-    async def _respond(self, request_text: str) -> dict:
+    def _host_engine(self):
+        """This host's own engine — its environment's store, not the
+        coordinator's: the embedded work-order store path is only
+        meaningful on the coordinator's filesystem, and shards are
+        benchmark-aligned so each host interprets a trace at most once
+        either way."""
+        if self._engine is None:
+            from repro.api.session import Session
+
+            self._engine = Session().engine
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Request handling (shared by both listeners)
+    # ------------------------------------------------------------------
+
+    async def _respond(self, request: dict, serial: int) -> dict:
         tracer = obs_tracer()
-        serial = self.requests_served + 1
-        tracer.event(
-            "serve.request", serial=serial, bytes=len(request_text)
-        )
+        op = request.get("op")
+        if op == "hello":
+            tracer.event("serve.hello", serial=serial)
+            return {"ok": True, "hello": local_capabilities()}
+        if op == "shard":
+            return await self._respond_shard(request, serial)
+        if op is not None:
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r} (this build speaks: hello, "
+                "shard, and the spec sweep request)",
+            }
+        # Legacy sweep request: {"spec": ..., "shards": N}.
         try:
-            request = json.loads(request_text)
-            if not isinstance(request, dict) or "spec" not in request:
+            if "spec" not in request:
                 raise ValueError('expected {"spec": {...}, "shards": N}')
             spec = ExperimentSpec.from_dict(request["spec"])
             shards = request.get("shards")
@@ -89,20 +154,104 @@ class SweepServer:
         )
         return {"ok": True, "sharded": outcome.to_dict()}
 
+    async def _respond_shard(self, request: dict, serial: int) -> dict:
+        """One remote shard attempt, with the worker fault plane.
+
+        Fault semantics match :func:`~repro.service.worker
+        .shard_process_main`, scaled up from worker to host: ``crash``
+        kills this entire server process (the coordinator sees the
+        connection die — real host-death), ``hang`` parks the request
+        past any deadline (cancellable, so a test server shuts down
+        cleanly), ``corrupt``/``tamper`` mangle the payload under a
+        stale digest so the *coordinator's* load check must reject it.
+        """
+        tracer = obs_tracer()
+        fault = request.get("fault")
+        if fault == "crash":
+            os._exit(13)
+        if fault == "hang":
+            await asyncio.sleep(HANG_SLEEP_SECONDS)
+        try:
+            shard = ShardSpec.from_dict(request["shard"])
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            return {
+                "ok": False,
+                "error": f"undecodable shard work order: "
+                f"{type(error).__name__}: {error}",
+            }
+        want_lake = bool(request.get("lake"))
+        if self._shard_lock is None:
+            self._shard_lock = asyncio.Lock()
+        # Handlers interleave, so the span uses the explicit begin/end
+        # API (a stack-based span would mis-parent across requests).
+        span = tracer.begin(
+            "serve.shard", serial=serial, shard=shard.index,
+            cells=len(shard.cells),
+        )
+        try:
+            async with self._shard_lock:
+                result, entries = await asyncio.to_thread(
+                    execute_shard_with_lake, shard, self._host_engine()
+                )
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            tracer.end(span, "serve.shard", serial=serial, status="failed")
+            return {
+                "ok": False,
+                "error": f"shard execution failed: "
+                f"{type(error).__name__}: {error}",
+            }
+        tracer.end(span, "serve.shard", serial=serial, status="ok")
+        payload = result.to_dict()
+        if fault == "corrupt":
+            # Drop a cell under the already-recorded digest: the
+            # coordinator's ShardResult.from_dict must reject it.
+            payload["cells"] = payload["cells"][:-1]
+        elif fault == "tamper":
+            stats = payload["cells"][0]["stats"]
+            stats["committed"] = int(stats.get("committed", 0)) + 1
+        response: dict = {"ok": True, "result": payload}
+        if want_lake:
+            response["lake_cells"] = entries
+        return response
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One connection: read a frame, answer it, close.
+
+        Every framing failure — oversized, truncated, malformed — is
+        answered with a structured ``ok: false`` carrying the error
+        kind, and only this connection ends: the listener (and any
+        concurrent request) keeps serving.
+        """
+        tracer = obs_tracer()
+        serial = self.requests_served + 1
         try:
-            line = await reader.readline()
-            if line:
-                response = await self._respond(line.decode("utf-8"))
+            response: dict | None = None
+            try:
+                line = await framing.read_frame(reader)
+                if line:
+                    tracer.event(
+                        "serve.request", serial=serial, bytes=len(line)
+                    )
+                    request = framing.decode_frame(line)
+                    response = await self._respond(request, serial)
+            except FrameError as error:
+                tracer.event(
+                    "serve.request.rejected", serial=serial, kind=error.kind
+                )
+                response = {
+                    "ok": False, "kind": error.kind,
+                    "error": f"unacceptable request ({error.kind}): {error}",
+                }
+            if response is not None:
                 # Counted before the write so a client that has its
                 # response in hand always observes the updated counter.
                 self.requests_served += 1
-                writer.write(
-                    (json.dumps(response, sort_keys=True) + "\n").encode()
-                )
-                await writer.drain()
+                try:
+                    await framing.write_frame(writer, response)
+                except OSError:  # pragma: no cover - client went away
+                    pass
         finally:
             writer.close()
             try:
@@ -114,60 +263,90 @@ class SweepServer:
 
     # ------------------------------------------------------------------
 
+    async def wait_started(self) -> None:
+        """Block until the listeners are bound (``bound_address`` is
+        populated); for callers driving :meth:`serve` as a task."""
+        if self._started is None:
+            self._started = asyncio.Event()
+        await self._started.wait()
+
     async def serve(self, once: bool = False) -> None:
         """Bind and serve; with *once*, exit after the first request."""
-        # A stale socket file from a crashed server would make bind
-        # fail; it is dead weight by definition (connects would ECONNREFUSED).
-        try:
-            self.socket_path.unlink()
-        except FileNotFoundError:
-            pass
+        if self._started is None:
+            self._started = asyncio.Event()
         self._once_done = asyncio.Event() if once else None
-        server = await asyncio.start_unix_server(
-            self._handle, path=str(self.socket_path), limit=STREAM_LIMIT
-        )
+        servers = []
         try:
-            async with server:
-                if self._once_done is not None:
-                    await self._once_done.wait()
-                else:
-                    await server.serve_forever()
+            if self.socket_path is not None:
+                # A stale socket file from a crashed server would make
+                # bind fail; it is dead weight by definition (connects
+                # would ECONNREFUSED).
+                try:
+                    self.socket_path.unlink()
+                except FileNotFoundError:
+                    pass
+                servers.append(await asyncio.start_unix_server(
+                    self._handle, path=str(self.socket_path),
+                    limit=self.stream_limit,
+                ))
+            if self.tcp is not None:
+                host, port = self.tcp
+                tcp_server = await asyncio.start_server(
+                    self._handle, host=host, port=port,
+                    limit=self.stream_limit,
+                )
+                self.bound_address = (
+                    tcp_server.sockets[0].getsockname()[:2]
+                )
+                servers.append(tcp_server)
+            self._started.set()
+            if self._once_done is not None:
+                await self._once_done.wait()
+            else:
+                await asyncio.gather(
+                    *(server.serve_forever() for server in servers)
+                )
         finally:
-            try:
-                self.socket_path.unlink()
-            except FileNotFoundError:
-                pass
+            for server in servers:
+                server.close()
+                await server.wait_closed()
+            if self.socket_path is not None:
+                try:
+                    self.socket_path.unlink()
+                except FileNotFoundError:
+                    pass
 
 
 def request(
     spec: ExperimentSpec,
-    socket_path: str | os.PathLike,
+    socket_path,
     shards: int | None = None,
     timeout: float = 600.0,
+    *,
+    retries: int = 2,
+    connect_timeout: float | None = None,
 ) -> ShardedSweepResult:
     """Client helper: run *spec* on the server at *socket_path*.
 
-    Raises :class:`ServiceError` when the server reports a failure and
-    ``OSError``/``socket.timeout`` when it is unreachable; a healthy
-    round trip returns the same :class:`ShardedSweepResult` a local
-    supervisor would have, digest checks re-run on load.
+    *socket_path* is a Unix-socket path, a ``(host, port)`` tuple, or a
+    :class:`~repro.cluster.hosts.HostSpec` — the transport is
+    :func:`repro.cluster.client.call`, so a connection refused, a
+    missing socket file or an EOF before any response byte (a racing
+    server restart) is redialed with bounded backoff up to *retries*
+    times.  Raises :class:`ServiceError` when the server reports a
+    failure and ``OSError``/``TimeoutError`` when it stays unreachable;
+    a healthy round trip returns the same :class:`ShardedSweepResult` a
+    local supervisor would have, digest checks re-run on load.
     """
-    message = {"spec": spec.to_dict()}
+    from repro.cluster import client
+
+    message: dict = {"spec": spec.to_dict()}
     if shards is not None:
         message["shards"] = shards
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        sock.connect(str(socket_path))
-        sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
-        chunks = []
-        while True:
-            chunk = sock.recv(1 << 20)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            if chunk.endswith(b"\n"):
-                break
-    response = json.loads(b"".join(chunks).decode("utf-8"))
+    response = client.call(
+        socket_path, message,
+        timeout=timeout, connect_timeout=connect_timeout, retries=retries,
+    )
     if not response.get("ok"):
         raise ServiceError(response.get("error", "unknown server error"))
     return ShardedSweepResult.from_dict(response["sharded"])

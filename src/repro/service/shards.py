@@ -199,6 +199,43 @@ class ShardResult:
         return cls.from_dict(json.loads(text))
 
 
+def validate_shard_result(
+    shard: ShardSpec, result: ShardResult
+) -> tuple[str, str] | None:
+    """Why *result* cannot be accepted as *shard*'s artifact, or ``None``.
+
+    The acceptance checks every transport shares — the supervisor's
+    spool-file load and the cluster dispatcher's inline payload both run
+    exactly these after the digest check ``ShardResult.from_dict``
+    already performed: the artifact must be for this shard, computed
+    under this spec's fingerprint, and cover exactly the ordered cell
+    set of the work order.  Returns the supervisor's ``(kind, reason)``
+    failure tuple so a rejection feeds straight into the retry ladder.
+    """
+    if result.index != shard.index:
+        return (
+            "foreign",
+            f"artifact is for shard {result.index}, expected "
+            f"{shard.index}",
+        )
+    if result.fingerprint != shard.fingerprint:
+        return (
+            "foreign",
+            f"artifact fingerprint {result.fingerprint} does not match "
+            f"the spec ({shard.fingerprint})",
+        )
+    produced = {
+        (cell.benchmark, cell.mechanism, cell.seed)
+        for cell in result.cells
+    }
+    if produced != set(shard.cell_ids()):
+        return (
+            "corrupt",
+            "artifact cell set does not match the shard's work order",
+        )
+    return None
+
+
 def merge_shards(
     spec: ExperimentSpec, shard_results
 ) -> tuple[RunResult, tuple[CellId, ...]]:

@@ -49,6 +49,7 @@ from repro.service.shards import (
     ShardSpec,
     merge_shards,
     plan_shards,
+    validate_shard_result,
 )
 from repro.service.worker import execute_shard, shard_process_main
 
@@ -105,6 +106,9 @@ class ShardedSweepResult:
     failures: tuple[str, ...] = ()
     mode: str = "sharded"
     shard_reports: dict[int, ShardReport] = field(default_factory=dict)
+    #: Cluster runs only: per-host status/dispatch summary keyed by host
+    #: label (``repro.cluster.pool.HostPool.report``); empty otherwise.
+    host_reports: dict[str, dict] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -125,6 +129,7 @@ class ShardedSweepResult:
                 str(index): report.to_dict()
                 for index, report in sorted(self.shard_reports.items())
             },
+            "host_reports": dict(sorted(self.host_reports.items())),
         }
 
     @classmethod
@@ -143,6 +148,8 @@ class ShardedSweepResult:
                 int(index): ShardReport.from_dict(report)
                 for index, report in payload.get("shard_reports", {}).items()
             },
+            # Absent in pre-cluster (and non-clustered) payloads.
+            host_reports=dict(payload.get("host_reports", {})),
         )
 
 
@@ -159,6 +166,7 @@ class ShardSupervisor:
         max_workers: int | None = None,
         poll_interval: float = 0.01,
         faults: FaultPlan | str | None = None,
+        dispatcher=None,
     ) -> None:
         self.deadline = (
             api_env.shard_timeout_from_env() if deadline is None else deadline
@@ -177,6 +185,11 @@ class ShardSupervisor:
         elif isinstance(faults, str):
             faults = FaultPlan.parse(faults)
         self.faults = faults
+        #: Execution backend for attempts; ``None`` = fork a worker
+        #: process per attempt.  A :class:`~repro.cluster.dispatch
+        #: .RemoteDispatcher` routes attempts to pooled hosts instead —
+        #: the whole retry/reassignment/quarantine ladder is agnostic.
+        self.dispatcher = dispatcher
 
     # ------------------------------------------------------------------
 
@@ -191,7 +204,10 @@ class ShardSupervisor:
     ) -> ShardedSweepResult:
         """Async core, callable from a running loop (``repro serve``)."""
         count = spec.shards if shards is None else shards
-        if count <= 1 or self.max_workers == 0 or spec.cells < 2:
+        # max_workers=0 means "never fork" — which only forces the
+        # in-process rung when forking is the backend at all.
+        no_backend = self.max_workers == 0 and self.dispatcher is None
+        if count <= 1 or no_backend or spec.cells < 2:
             return await asyncio.get_running_loop().run_in_executor(
                 None, self._run_in_process, spec
             )
@@ -221,7 +237,10 @@ class ShardSupervisor:
         queue: asyncio.Queue = asyncio.Queue()
         for shard in shard_specs:
             queue.put_nowait((shard, 0))
-        slots = min(len(shard_specs), self.max_workers or 2)
+        if self.dispatcher is not None:
+            slots = min(len(shard_specs), self.dispatcher.width)
+        else:
+            slots = min(len(shard_specs), self.max_workers or 2)
         outstanding = len(shard_specs)
         loop = asyncio.get_running_loop()
         # Slot coroutines interleave, so spans use the explicit
@@ -320,7 +339,10 @@ class ShardSupervisor:
             quarantined=tuple(sorted(quarantined)),
             attempts=attempts,
             failures=tuple(failures),
-            mode="sharded",
+            mode=(
+                "sharded" if self.dispatcher is None
+                else self.dispatcher.mode
+            ),
             shard_reports=reports,
         )
 
@@ -334,6 +356,12 @@ class ShardSupervisor:
         (spawn/hang/death/no-artifact/corrupt/foreign), ``reason`` the
         human-readable line that lands in ``failures``."""
         fault = self.faults.fault_for(shard.index, attempt)
+        if self.dispatcher is not None:
+            # Cluster backend: the dispatcher runs the attempt remotely
+            # and returns the exact same contract, so retry, backoff,
+            # reassignment and quarantine above need no cluster
+            # awareness at all.
+            return await self.dispatcher.attempt(shard, attempt, fault)
         out_path = spool / f"shard-{shard.index}-attempt-{attempt}.json"
         process = multiprocessing.Process(
             target=shard_process_main,
@@ -382,25 +410,4 @@ class ShardSupervisor:
             result = ShardResult.from_json(text)
         except (ValueError, KeyError, TypeError) as error:
             return ("corrupt", f"shard artifact rejected: {error}")
-        if result.index != shard.index:
-            return (
-                "foreign",
-                f"artifact is for shard {result.index}, expected "
-                f"{shard.index}",
-            )
-        if result.fingerprint != shard.fingerprint:
-            return (
-                "foreign",
-                f"artifact fingerprint {result.fingerprint} does not match "
-                f"the spec ({shard.fingerprint})",
-            )
-        produced = {
-            (cell.benchmark, cell.mechanism, cell.seed)
-            for cell in result.cells
-        }
-        if produced != set(shard.cell_ids()):
-            return (
-                "corrupt",
-                "artifact cell set does not match the shard's work order",
-            )
-        return result
+        return validate_shard_result(shard, result) or result

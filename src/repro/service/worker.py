@@ -66,6 +66,46 @@ def execute_shard(shard: ShardSpec, engine=None) -> ShardResult:
     )
 
 
+def execute_shard_with_lake(
+    shard: ShardSpec, engine=None
+) -> tuple[ShardResult, list[dict]]:
+    """Like :func:`execute_shard`, also returning portable lake entries.
+
+    The cluster path: a remote host runs the shard and ships one
+    :meth:`~repro.harness.sweep.SweepEngine.lake_entry` payload per cell
+    beside the digest-sealed artifact, so the coordinator can warm its
+    own result lake from work it never simulated.  The entries are built
+    from the very results the artifact seals — the coordinator
+    cross-checks them against the artifact (and recomputes tokens
+    locally) before filing anything.
+    """
+    if engine is None:
+        from repro.api.session import Session
+
+        engine = Session(store=shard.spec.store).engine
+    spec = shard.spec
+    cells: list[CellResult] = []
+    entries: list[dict] = []
+    for benchmark, mech_index, seed in shard.cells:
+        mechanism = spec.mechanisms[mech_index]
+        result = engine.run_cell(
+            benchmark, mechanism, seed=seed,
+            warmup=spec.window.warmup, measure=spec.window.measure,
+            sampling=spec.sampling,
+        )
+        cells.append(
+            CellResult(benchmark, mechanism.name, seed, result.stats)
+        )
+        entries.append(engine.lake_entry(
+            result, mechanism,
+            spec.window.warmup, spec.window.measure, spec.sampling,
+        ))
+    shard_result = ShardResult(
+        index=shard.index, fingerprint=shard.fingerprint, cells=cells
+    )
+    return shard_result, entries
+
+
 def _tampered(text: str) -> str:
     """A well-formed copy of *text* whose first cell's stats were edited
     (the recorded digest is left stale, so loading must reject it)."""
